@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the three dual-Vdd algorithms on prepared
+//! benchmark stand-ins (small/medium circuits, so `cargo bench` stays
+//! quick; the full 39-circuit sweep lives in the `tables` bench and the
+//! `repro_table*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_bench::{paper_config, paper_library, prepare_circuit};
+use dvs_core::{cvs, dscale, gscale};
+use dvs_sta::Timing;
+use dvs_synth::mcnc;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let lib = paper_library();
+    let cfg = {
+        let mut cfg = paper_config();
+        cfg.sim_vectors = 1024; // keep the Dscale weighting loop light
+        cfg
+    };
+
+    let mut group = c.benchmark_group("algorithms");
+    for name in ["pcle", "b9", "term1", "x2"] {
+        let prepared = prepare_circuit(mcnc::find(name).unwrap(), &lib);
+
+        group.bench_with_input(BenchmarkId::new("cvs", name), &prepared, |b, p| {
+            b.iter(|| {
+                let mut net = p.network.clone();
+                let mut t = Timing::analyze(&net, &lib, p.tspec_ns);
+                cvs(&mut net, &lib, &mut t, cfg.guard_ns)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("dscale", name), &prepared, |b, p| {
+            b.iter(|| {
+                let mut net = p.network.clone();
+                dscale(&mut net, &lib, p.tspec_ns, &cfg)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("gscale", name), &prepared, |b, p| {
+            b.iter(|| {
+                let mut net = p.network.clone();
+                gscale(&mut net, &lib, p.tspec_ns, &cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    let lib = paper_library();
+    let mut group = c.benchmark_group("prepare");
+    group.sample_size(10);
+    for name in ["b9", "term1"] {
+        let profile = mcnc::find(name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| prepare_circuit(profile, &lib));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms, bench_preparation
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the substrates: timing analysis
+//! (full and incremental), bit-parallel simulation, reachability, and the
+//! flow-based optimisers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_bench::{paper_library, prepare_circuit};
+use dvs_flow::{max_weight_antichain, min_vertex_separator, FlowGraph, SeparatorProblem};
+use dvs_netlist::{Rail, ReachMatrix};
+use dvs_power::simulate;
+use dvs_sta::Timing;
+use dvs_synth::mcnc;
+
+fn bench_sta(c: &mut Criterion) {
+    let lib = paper_library();
+    let mut group = c.benchmark_group("sta");
+    for name in ["b9", "term1", "k2"] {
+        let prepared = prepare_circuit(mcnc::find(name).unwrap(), &lib);
+        let net = prepared.network;
+        group.bench_with_input(BenchmarkId::new("full_analyze", name), &net, |b, net| {
+            b.iter(|| Timing::analyze(net, &lib, prepared.tspec_ns));
+        });
+        // incremental: flip one mid gate's rail back and forth
+        let g = net.gate_ids().nth(net.gate_count() / 2).unwrap();
+        group.bench_with_input(BenchmarkId::new("incremental", name), &net, |b, net| {
+            let mut net = net.clone();
+            let mut t = Timing::analyze(&net, &lib, prepared.tspec_ns);
+            b.iter(|| {
+                net.set_rail(g, Rail::Low);
+                t.apply_gate_change(&net, &lib, g);
+                net.set_rail(g, Rail::High);
+                t.apply_gate_change(&net, &lib, g);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let lib = paper_library();
+    let mut group = c.benchmark_group("simulation");
+    for name in ["b9", "k2"] {
+        let prepared = prepare_circuit(mcnc::find(name).unwrap(), &lib);
+        for vectors in [1024usize, 4096] {
+            group.bench_with_input(
+                BenchmarkId::new(name, vectors),
+                &vectors,
+                |b, &vectors| {
+                    b.iter(|| simulate(&prepared.network, &lib, vectors, 7));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let lib = paper_library();
+    let prepared = prepare_circuit(mcnc::find("k2").unwrap(), &lib);
+    c.bench_function("reach_matrix_k2", |b| {
+        b.iter(|| ReachMatrix::of(&prepared.network));
+    });
+}
+
+/// layered DAG for the pure graph-algorithm benches
+fn layered_dag(levels: usize, width: usize) -> (usize, Vec<(usize, usize)>) {
+    let n = levels * width;
+    let mut edges = Vec::new();
+    for l in 1..levels {
+        for i in 0..width {
+            let v = l * width + i;
+            edges.push(((l - 1) * width + i, v));
+            edges.push(((l - 1) * width + (i + 1) % width, v));
+        }
+    }
+    (n, edges)
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    for (levels, width) in [(10, 10), (20, 25)] {
+        let (n, edges) = layered_dag(levels, width);
+        let weights: Vec<u64> = (0..n).map(|i| 1 + (i as u64 * 37) % 100).collect();
+        let label = format!("{n}n_{}e", edges.len());
+
+        group.bench_function(BenchmarkId::new("max_flow", &label), |b| {
+            b.iter(|| {
+                let mut g = FlowGraph::new(n + 2);
+                for &(u, v) in &edges {
+                    g.add_edge(u, v, weights[u]);
+                }
+                for i in 0..width {
+                    g.add_edge(n, i, u64::MAX / 8);
+                    g.add_edge(n - 1 - i, n + 1, u64::MAX / 8);
+                }
+                g.max_flow(n, n + 1)
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("antichain", &label), |b| {
+            b.iter(|| max_weight_antichain(n, &edges, &weights));
+        });
+
+        let sources: Vec<usize> = (0..width).collect();
+        let sinks: Vec<usize> = (n - width..n).collect();
+        group.bench_function(BenchmarkId::new("separator", &label), |b| {
+            b.iter(|| {
+                min_vertex_separator(&SeparatorProblem {
+                    n,
+                    edges: edges.clone(),
+                    weights: weights.clone(),
+                    sources: sources.clone(),
+                    sinks: sinks.clone(),
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sta, bench_simulation, bench_reachability, bench_flow
+);
+criterion_main!(benches);

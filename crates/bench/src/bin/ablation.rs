@@ -1,0 +1,192 @@
+//! Ablation studies for the design choices called out in DESIGN.md §7:
+//!
+//! 1. `Dscale` selection: exact maximum-weight antichain (MWIS) vs a
+//!    weight-greedy conflict-free sweep;
+//! 2. `Dscale` weighting: converter-aware net gain vs the paper's literal
+//!    gross "power reduction when Vlow is applied";
+//! 3. level-converter energy sweep (×0, ×1, ×4) — why restoration costs
+//!    cap Dscale's advantage;
+//! 4. the low-rail choice (Vlow sweep) across algorithm classes;
+//! 5. random-vector count — convergence of the power estimator.
+//!
+//! ```text
+//! cargo run --release -p dvs-bench --bin ablation
+//! ```
+
+use dvs_bench::{mean, paper_config, paper_library, prepare_circuit};
+use dvs_celllib::{compass, AlphaPowerModel, VoltagePair};
+use dvs_core::{dscale, measure_power, run_circuit, FlowConfig};
+use dvs_power::{estimate, simulate};
+use dvs_synth::{mcnc, prepare};
+
+/// Circuits spanning the behaviour classes, small enough to sweep.
+const CIRCUITS: [&str; 6] = ["C499", "alu2", "alu4", "k2", "dalu", "C3540"];
+
+fn improvement(p_before: f64, p_after: f64) -> f64 {
+    (p_before - p_after) / p_before * 100.0
+}
+
+fn ablate_selection() {
+    println!("== 1. Dscale selection: exact MWIS vs weight-greedy ==");
+    let lib = paper_library();
+    println!("{:<8} {:>12} {:>12}", "circuit", "MWIS %", "greedy %");
+    let mut deltas = Vec::new();
+    for name in CIRCUITS {
+        let prepared = prepare_circuit(mcnc::find(name).unwrap(), &lib);
+        let org = measure_power(&prepared.network, &lib, &paper_config());
+        let mut results = [0.0f64; 2];
+        for (ix, greedy) in [false, true].into_iter().enumerate() {
+            let cfg = FlowConfig {
+                dscale_greedy_selection: greedy,
+                ..paper_config()
+            };
+            let mut net = prepared.network.clone();
+            let _ = dscale(&mut net, &lib, prepared.tspec_ns, &cfg);
+            results[ix] = improvement(org, measure_power(&net, &lib, &cfg));
+        }
+        println!("{:<8} {:>12.2} {:>12.2}", name, results[0], results[1]);
+        deltas.push(results[0] - results[1]);
+    }
+    println!(
+        "exact MWIS is ahead by {:+.3} points on average. On these netlists\n\
+         the per-iteration candidate sets are nearly conflict-free, so the\n\
+         greedy sweep usually matches the optimum — the exact antichain is\n\
+         a guarantee, not a routine win (see dvs-flow's property tests for\n\
+         instances where greedy strands weight on long paths)\n",
+        mean(deltas.into_iter())
+    );
+}
+
+fn ablate_weighting() {
+    println!("== 2. Dscale weighting: net-of-converter vs gross (paper-literal) ==");
+    let lib = paper_library();
+    println!(
+        "{:<8} {:>8} {:>16} {:>16}",
+        "circuit", "CVS %", "net: % / conv", "gross: % / conv"
+    );
+    for name in CIRCUITS {
+        let prepared = prepare_circuit(mcnc::find(name).unwrap(), &lib);
+        let base_cfg = paper_config();
+        let run = run_circuit(name, &prepared, &lib, &base_cfg);
+        let org = run.org_pwr_uw;
+
+        let mut row = Vec::new();
+        for net_weighting in [true, false] {
+            let cfg = FlowConfig {
+                dscale_net_weighting: net_weighting,
+                ..paper_config()
+            };
+            let mut net = prepared.network.clone();
+            let out = dscale(&mut net, &lib, prepared.tspec_ns, &cfg);
+            row.push((improvement(org, measure_power(&net, &lib, &cfg)), out.converters));
+        }
+        println!(
+            "{:<8} {:>8.2} {:>10.2} / {:<4} {:>9.2} / {:<4}",
+            name, run.cvs.improvement_pct, row[0].0, row[0].1, row[1].0, row[1].1
+        );
+    }
+    println!(
+        "gross weighting demotes many more gates (and buys many more\n\
+         converters) but the restoration tax can push power *above* the\n\
+         CVS result — the effect the paper describes as '8% more gates\n\
+         cannot be completely turned into power savings'\n"
+    );
+}
+
+fn ablate_converter_cost() {
+    println!("== 3. converter energy sweep (Dscale, gross weighting) ==");
+    println!("{:<8} {:>10} {:>10} {:>10}", "circuit", "x0", "x1", "x4");
+    for name in CIRCUITS {
+        let mut row = Vec::new();
+        for scale in [0.0, 1.0, 4.0] {
+            let lib = compass::compass_library_tuned(
+                VoltagePair::default(),
+                AlphaPowerModel::default(),
+                scale,
+            );
+            let net = mcnc::generate(name, &lib).unwrap();
+            let prepared = prepare(net, &lib, 1.2);
+            let cfg = FlowConfig {
+                dscale_net_weighting: false,
+                ..paper_config()
+            };
+            let org = measure_power(&prepared.network, &lib, &cfg);
+            let mut dnet = prepared.network.clone();
+            let _ = dscale(&mut dnet, &lib, prepared.tspec_ns, &cfg);
+            row.push(improvement(org, measure_power(&dnet, &lib, &cfg)));
+        }
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>10.2}",
+            name, row[0], row[1], row[2]
+        );
+    }
+    println!(
+        "free converters (x0) show the headroom level restoration eats;\n\
+         expensive ones (x4) price scattered demotion out entirely\n"
+    );
+}
+
+fn ablate_vlow() {
+    println!("== 4. Vlow sweep (Gscale improvement %) ==");
+    print!("{:<8}", "circuit");
+    for v in [46, 43, 40, 34, 30] {
+        print!(" {:>8}", format!("{:.1}V", v as f64 / 10.0));
+    }
+    println!();
+    for name in ["b9", "lal", "x2"] {
+        print!("{:<8}", name);
+        for v in [46, 43, 40, 34, 30] {
+            let pair = VoltagePair::new(5.0, v as f64 / 10.0);
+            let lib = compass::compass_library(pair);
+            let net = mcnc::generate(name, &lib).unwrap();
+            let prepared = prepare(net, &lib, 1.2);
+            let run = run_circuit(name, &prepared, &lib, &paper_config());
+            print!(" {:>8.2}", run.gscale.improvement_pct);
+        }
+        println!();
+    }
+    println!(
+        "deeper Vlow saves more per demoted gate but its derating shrinks\n\
+         the demotable region — the knee near 4.0–4.3 V is why the paper's\n\
+         internal project chose 4.3 V\n"
+    );
+}
+
+fn ablate_vectors() {
+    println!("== 5. power-estimator convergence (random-vector count) ==");
+    let lib = paper_library();
+    let prepared = prepare_circuit(mcnc::find("term1").unwrap(), &lib);
+    let reference = {
+        let acts = simulate(&prepared.network, &lib, 65536, 1);
+        estimate(&prepared.network, &lib, &acts, 20.0).total_uw
+    };
+    println!("{:>9} {:>12} {:>10}", "vectors", "power(uW)", "error %");
+    for vectors in [256usize, 1024, 4096, 16384] {
+        // average over seeds to show the variance shrink
+        let powers: Vec<f64> = (0..5)
+            .map(|seed| {
+                let acts = simulate(&prepared.network, &lib, vectors, seed);
+                estimate(&prepared.network, &lib, &acts, 20.0).total_uw
+            })
+            .collect();
+        let worst = powers
+            .iter()
+            .map(|p| ((p - reference) / reference * 100.0).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:>9} {:>12.2} {:>10.3}",
+            vectors,
+            mean(powers.into_iter()),
+            worst
+        );
+    }
+    println!("4096 vectors (the default) keeps the estimator inside a fraction of a percent");
+}
+
+fn main() {
+    ablate_selection();
+    ablate_weighting();
+    ablate_converter_cost();
+    ablate_vlow();
+    ablate_vectors();
+}

@@ -1,0 +1,50 @@
+//! Regenerates Table 1 of the paper: per-circuit original power and the
+//! improvement (%) of CVS, Dscale and Gscale over the single-Vdd mapping,
+//! plus Gscale wall-clock time. Paper columns are printed alongside for
+//! comparison (absolute powers differ — synthetic library and circuit
+//! stand-ins — the *shape* is the reproduction target; see EXPERIMENTS.md).
+
+use dvs_bench::{mean, paper_config, paper_library, run_all};
+use dvs_synth::mcnc::{averages, find};
+
+fn main() {
+    let lib = paper_library();
+    let cfg = paper_config();
+
+    println!("Table 1: Improvement over the Original Power (%)");
+    println!("(measured | paper reference in brackets)");
+    println!(
+        "{:<10} {:>12} {:>16} {:>16} {:>16} {:>10}",
+        "circuit", "OrgPwr(uW)", "CVS", "Dscale", "Gscale", "CPU(s)"
+    );
+    let runs = run_all(&lib, &cfg, |run| {
+        let p = find(&run.name).expect("profile exists").paper;
+        println!(
+            "{:<10} {:>12.2} {:>8.2} [{:>5.2}] {:>8.2} [{:>5.2}] {:>8.2} [{:>5.2}] {:>10.2}",
+            run.name,
+            run.org_pwr_uw,
+            run.cvs.improvement_pct,
+            p.cvs_pct,
+            run.dscale.improvement_pct,
+            p.dscale_pct,
+            run.gscale.improvement_pct,
+            p.gscale_pct,
+            run.gscale.cpu.as_secs_f64(),
+        );
+    });
+
+    let avg_cvs = mean(runs.iter().map(|r| r.cvs.improvement_pct));
+    let avg_dscale = mean(runs.iter().map(|r| r.dscale.improvement_pct));
+    let avg_gscale = mean(runs.iter().map(|r| r.gscale.improvement_pct));
+    println!(
+        "{:<10} {:>12} {:>8.2} [{:>5.2}] {:>8.2} [{:>5.2}] {:>8.2} [{:>5.2}]",
+        "average",
+        "",
+        avg_cvs,
+        averages::CVS_PCT,
+        avg_dscale,
+        averages::DSCALE_PCT,
+        avg_gscale,
+        averages::GSCALE_PCT,
+    );
+}

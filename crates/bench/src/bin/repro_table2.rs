@@ -1,0 +1,57 @@
+//! Regenerates Table 2 of the paper: per-circuit gate counts, low-voltage
+//! gate counts and ratios after CVS / Dscale / Gscale, and Gscale's sizing
+//! profile (resized gates + fractional area increase). Paper reference
+//! ratios are printed in brackets.
+
+use dvs_bench::{mean, paper_config, paper_library, run_all};
+use dvs_synth::mcnc::{averages, find};
+
+fn main() {
+    let lib = paper_library();
+    let cfg = paper_config();
+
+    println!("Table 2: Profiles");
+    println!("(measured ratio | paper reference in brackets)");
+    println!(
+        "{:<10} {:>6} {:>18} {:>18} {:>18} {:>8} {:>8}",
+        "circuit", "Org#", "CVS low", "Dscale low", "Gscale low", "Sized", "AreaInc"
+    );
+    let runs = run_all(&lib, &cfg, |run| {
+        let p = find(&run.name).expect("profile exists");
+        let pr = p.paper;
+        println!(
+            "{:<10} {:>6} {:>5} {:>4.2} [{:>4.2}] {:>5} {:>4.2} [{:>4.2}] {:>5} {:>4.2} [{:>4.2}] {:>8} {:>8.2}",
+            run.name,
+            run.gates,
+            run.cvs.low_gates,
+            run.cvs.low_ratio,
+            pr.low_cvs as f64 / p.gates as f64,
+            run.dscale.low_gates,
+            run.dscale.low_ratio,
+            pr.low_dscale as f64 / p.gates as f64,
+            run.gscale.low_gates,
+            run.gscale.low_ratio,
+            pr.low_gscale as f64 / p.gates as f64,
+            run.gscale.resized,
+            run.gscale.area_increase,
+        );
+    });
+
+    println!(
+        "{:<10} {:>6} {:>11.2} [{:>4.2}] {:>11.2} [{:>4.2}] {:>11.2} [{:>4.2}] {:>8} {:>8.2}",
+        "average",
+        "",
+        mean(runs.iter().map(|r| r.cvs.low_ratio)),
+        averages::CVS_LOW_RATIO,
+        mean(runs.iter().map(|r| r.dscale.low_ratio)),
+        averages::DSCALE_LOW_RATIO,
+        mean(runs.iter().map(|r| r.gscale.low_ratio)),
+        averages::GSCALE_LOW_RATIO,
+        "",
+        mean(runs.iter().map(|r| r.gscale.area_increase)),
+    );
+    println!(
+        "\nconverters inserted by Dscale (total): {}",
+        runs.iter().map(|r| r.dscale.converters).sum::<usize>()
+    );
+}

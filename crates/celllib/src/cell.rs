@@ -1,0 +1,159 @@
+use crate::GateFn;
+
+/// One drive-size variant (`d0`, `d1`, `d2`) of a [`Cell`] family.
+///
+/// Larger variants drive harder (lower `drive_res_ns_per_pf`) at the cost of
+/// area, input capacitance (loading their fanins) and a slightly larger
+/// intrinsic delay from self-loading — which is exactly the trade-off
+/// `Gscale`'s separator weighting navigates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeVariant {
+    /// Variant name (`d0`, `d1`, `d2`).
+    pub name: String,
+    /// Cell area in relative layout units.
+    pub area: f64,
+    /// Capacitance presented by each input pin, pF.
+    pub input_cap_pf: f64,
+    /// Load-independent delay component, ns (at the nominal rail).
+    pub intrinsic_ns: f64,
+    /// Load-dependent delay slope, ns per pF of output load.
+    pub drive_res_ns_per_pf: f64,
+    /// Internal (self) capacitance switched on every output transition, pF.
+    pub internal_cap_pf: f64,
+    /// Static leakage, nW (at the nominal rail).
+    pub leakage_nw: f64,
+}
+
+impl SizeVariant {
+    /// Pin-to-pin delay at the nominal rail for the given output load.
+    #[inline]
+    pub fn delay_ns(&self, load_pf: f64) -> f64 {
+        self.intrinsic_ns + self.drive_res_ns_per_pf * load_pf
+    }
+}
+
+/// A library cell family: one logic function in several drive sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    name: String,
+    function: GateFn,
+    sizes: Vec<SizeVariant>,
+    is_converter: bool,
+}
+
+impl Cell {
+    /// Creates a cell family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty.
+    pub fn new(name: impl Into<String>, function: GateFn, sizes: Vec<SizeVariant>) -> Self {
+        assert!(!sizes.is_empty(), "a cell needs at least one size variant");
+        Cell {
+            name: name.into(),
+            function,
+            sizes,
+            is_converter: false,
+        }
+    }
+
+    pub(crate) fn new_converter(
+        name: impl Into<String>,
+        sizes: Vec<SizeVariant>,
+    ) -> Self {
+        let mut cell = Cell::new(name, GateFn::Buf, sizes);
+        cell.is_converter = true;
+        cell
+    }
+
+    /// Cell family name, e.g. `NAND2`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logic function implemented by the cell.
+    pub fn function(&self) -> GateFn {
+        self.function
+    }
+
+    /// Number of input pins.
+    pub fn arity(&self) -> usize {
+        self.function.arity()
+    }
+
+    /// Returns `true` if the output stage inverts (3-size families in the
+    /// paper's library).
+    pub fn is_inverting(&self) -> bool {
+        self.function.is_inverting()
+    }
+
+    /// Returns `true` if this is the level-restoration converter cell.
+    pub fn is_converter(&self) -> bool {
+        self.is_converter
+    }
+
+    /// Available size variants, ordered from weakest (`d0`) to strongest.
+    pub fn sizes(&self) -> &[SizeVariant] {
+        &self.sizes
+    }
+
+    /// The variant at `ix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of range for this family.
+    pub fn size(&self, ix: dvs_netlist::SizeIx) -> &SizeVariant {
+        &self.sizes[ix.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_netlist::SizeIx;
+
+    fn variant(scale: f64) -> SizeVariant {
+        SizeVariant {
+            name: format!("d{scale}"),
+            area: scale,
+            input_cap_pf: 0.01 * scale,
+            intrinsic_ns: 0.1,
+            drive_res_ns_per_pf: 3.0 / scale,
+            internal_cap_pf: 0.005 * scale,
+            leakage_nw: scale,
+        }
+    }
+
+    #[test]
+    fn delay_is_linear_in_load() {
+        let v = variant(1.0);
+        let d1 = v.delay_ns(0.0);
+        let d2 = v.delay_ns(0.1);
+        assert!((d1 - 0.1).abs() < 1e-12);
+        assert!((d2 - d1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_accessors() {
+        let c = Cell::new("NAND2", GateFn::Nand(2), vec![variant(1.0), variant(2.0)]);
+        assert_eq!(c.name(), "NAND2");
+        assert_eq!(c.arity(), 2);
+        assert!(c.is_inverting());
+        assert!(!c.is_converter());
+        assert_eq!(c.sizes().len(), 2);
+        assert!(c.size(SizeIx(1)).drive_res_ns_per_pf < c.size(SizeIx(0)).drive_res_ns_per_pf);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one size")]
+    fn empty_sizes_rejected() {
+        Cell::new("BAD", GateFn::Inv, vec![]);
+    }
+
+    #[test]
+    fn converter_flag() {
+        let c = Cell::new_converter("LCONV", vec![variant(1.5)]);
+        assert!(c.is_converter());
+        assert_eq!(c.function(), GateFn::Buf);
+    }
+}

@@ -1,0 +1,56 @@
+//! # dvs-celllib
+//!
+//! Standard-cell library model with dual supply-voltage characterisation,
+//! standing in for the COMPASS 0.6 µm library + SPICE recharacterisation the
+//! paper uses.
+//!
+//! A [`Library`] holds a set of [`Cell`] families. Each family implements a
+//! combinational [`GateFn`] and offers two or three drive-[`SizeVariant`]s
+//! (the paper's `d0`/`d1`/`d2`: inverting cells come in three sizes,
+//! non-inverting ones in two). Timing follows a pin-to-pin linear delay
+//! model,
+//!
+//! ```text
+//! delay(rail, load) = derate(rail) · (intrinsic + drive_res · load)
+//! ```
+//!
+//! where `derate(Low)` comes from the alpha-power law ([`AlphaPowerModel`]) —
+//! the standard analytic substitute for re-simulating every cell with SPICE
+//! at the lower rail. The library also carries the level-restoration
+//! converter cell required at every low→high crossing.
+//!
+//! The canonical library of the paper's experiments is built by
+//! [`compass::compass_library`]: 72 sized combinational cells (20 inverting
+//! functions × 3 sizes + 6 non-inverting × 2 sizes).
+//!
+//! # Example
+//!
+//! ```
+//! use dvs_celllib::{compass, VoltagePair};
+//! use dvs_netlist::Rail;
+//!
+//! let lib = compass::compass_library(VoltagePair::new(5.0, 4.3));
+//! assert_eq!(lib.sized_cell_count(), 72);
+//!
+//! let nand2 = lib.find("NAND2").expect("NAND2 exists");
+//! let d_high = lib.delay_ns(nand2, dvs_netlist::SizeIx(0), Rail::High, 0.05);
+//! let d_low = lib.delay_ns(nand2, dvs_netlist::SizeIx(0), Rail::Low, 0.05);
+//! assert!(d_low > d_high, "the low rail is slower");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+pub mod compass;
+mod error;
+mod function;
+mod library;
+pub mod textfmt;
+mod voltage;
+
+pub use cell::{Cell, SizeVariant};
+pub use error::LibraryError;
+pub use function::GateFn;
+pub use library::{Library, LibraryBuilder};
+pub use voltage::{AlphaPowerModel, VoltagePair};

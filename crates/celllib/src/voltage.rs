@@ -1,0 +1,155 @@
+//! Supply-voltage modelling: the dual-rail pair and the alpha-power-law
+//! delay derating that substitutes for SPICE recharacterisation.
+
+/// The two supply rails of a dual-Vdd design, in volts.
+///
+/// The paper's experiments use `(5.0, 4.3)` "in accordance with our internal
+/// design project"; [`VoltagePair::new`] accepts any `high > low > 0` pair so
+/// the trade-off can be swept (see the `voltage_sweep` example).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltagePair {
+    high: f64,
+    low: f64,
+}
+
+impl VoltagePair {
+    /// Creates a voltage pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `high > low > 0`.
+    pub fn new(high: f64, low: f64) -> Self {
+        assert!(
+            high > low && low > 0.0,
+            "voltage pair must satisfy high > low > 0, got ({high}, {low})"
+        );
+        VoltagePair { high, low }
+    }
+
+    /// The nominal rail in volts.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// The reduced rail in volts.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Ratio of switching energies `low² / high²` — the per-gate power
+    /// saving factor of demotion (0.7396 for the paper's 5 V/4.3 V pair).
+    pub fn energy_ratio(&self) -> f64 {
+        (self.low * self.low) / (self.high * self.high)
+    }
+}
+
+impl Default for VoltagePair {
+    /// The paper's `(5.0, 4.3)` volts.
+    fn default() -> Self {
+        VoltagePair::new(5.0, 4.3)
+    }
+}
+
+/// Alpha-power-law MOSFET delay model (Sakurai–Newton).
+///
+/// Gate delay scales as `V / (V − Vt)^α`; dividing the value at the low rail
+/// by the value at the high rail yields the derating factor applied to every
+/// low-Vdd cell. With the defaults (`Vt = 0.8 V`, `α = 1.3`, matching a
+/// 0.6 µm process) the paper's 4.3 V rail is ≈ 9 % slower than 5 V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaPowerModel {
+    /// Threshold voltage in volts.
+    pub vt: f64,
+    /// Velocity-saturation exponent (2.0 = long channel, →1 = short).
+    pub alpha: f64,
+}
+
+impl AlphaPowerModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vt > 0` and `alpha > 0`.
+    pub fn new(vt: f64, alpha: f64) -> Self {
+        assert!(vt > 0.0 && alpha > 0.0, "vt and alpha must be positive");
+        AlphaPowerModel { vt, alpha }
+    }
+
+    /// Relative delay at supply `v` (arbitrary units, monotone decreasing
+    /// in `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v <= vt` — the transistor would not switch.
+    pub fn relative_delay(&self, v: f64) -> f64 {
+        assert!(
+            v > self.vt,
+            "supply {v} V is not above the threshold {} V",
+            self.vt
+        );
+        v / (v - self.vt).powf(self.alpha)
+    }
+
+    /// Delay multiplier of running at `voltages.low()` instead of
+    /// `voltages.high()`; always ≥ 1 for valid pairs.
+    pub fn derate(&self, voltages: VoltagePair) -> f64 {
+        self.relative_delay(voltages.low()) / self.relative_delay(voltages.high())
+    }
+}
+
+impl Default for AlphaPowerModel {
+    /// `Vt = 0.8 V`, `α = 1.3`: a 0.6 µm-class process.
+    fn default() -> Self {
+        AlphaPowerModel::new(0.8, 1.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pair_energy_ratio() {
+        let v = VoltagePair::default();
+        assert!((v.energy_ratio() - 0.7396).abs() < 1e-4);
+    }
+
+    #[test]
+    fn derate_close_to_nine_percent() {
+        let m = AlphaPowerModel::default();
+        let k = m.derate(VoltagePair::default());
+        assert!(k > 1.05 && k < 1.15, "derate {k} out of expected band");
+    }
+
+    #[test]
+    fn derate_grows_as_low_rail_drops() {
+        let m = AlphaPowerModel::default();
+        let mild = m.derate(VoltagePair::new(5.0, 4.6));
+        let hard = m.derate(VoltagePair::new(5.0, 3.0));
+        assert!(hard > mild);
+        assert!(mild > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "high > low")]
+    fn rejects_inverted_pair() {
+        VoltagePair::new(3.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_subthreshold_supply() {
+        AlphaPowerModel::default().relative_delay(0.5);
+    }
+
+    #[test]
+    fn relative_delay_monotone() {
+        let m = AlphaPowerModel::default();
+        let mut last = f64::INFINITY;
+        for v in [2.0, 3.0, 4.0, 5.0] {
+            let d = m.relative_delay(v);
+            assert!(d < last);
+            last = d;
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! What-if analysis for demoting a single gate to the low rail.
+
+use dvs_celllib::Library;
+use dvs_netlist::{Network, NodeId, Rail};
+use dvs_sta::Timing;
+
+/// The effect of demoting one gate, as computed by [`DemotionPlan::build`].
+#[derive(Debug, Clone)]
+pub struct DemotionPlan {
+    /// The gate to demote.
+    pub gate: NodeId,
+    /// Fanout gates that stay on the high rail and therefore need a level
+    /// converter spliced in (empty in the CVS/Gscale clustered regime).
+    pub high_sinks: Vec<NodeId>,
+    /// New pin-to-pin delay of the gate after demotion (includes the load
+    /// change when a converter replaces the high sinks), ns.
+    pub new_delay_ns: f64,
+    /// Delay of the inserted converter, ns (0 when none is needed).
+    pub converter_delay_ns: f64,
+    /// Gross switching-energy saving of the gate's own net, per unit of
+    /// activity and MHz (the paper's `weight_with_power_gain`: the "power
+    /// reduction when Vlow is applied", before restoration costs).
+    pub gross_gain_per_activity: f64,
+    /// The same saving net of the level-restoration overhead (converter
+    /// input load, internal energy and its high-rail output net). Can be
+    /// negative: a converter fronting a single demoted gate rarely pays —
+    /// it is amortised by the low region that later grows behind it.
+    pub net_gain_per_activity: f64,
+}
+
+impl DemotionPlan {
+    /// Analyses demoting `gate` on the current network state.
+    ///
+    /// Returns `None` if the gate is already low, is a converter, or is a
+    /// primary input.
+    pub fn build(net: &Network, lib: &Library, timing: &Timing, gate: NodeId) -> Option<Self> {
+        let node = net.node(gate);
+        if !node.is_gate() || node.is_converter() || node.rail() == Rail::Low {
+            return None;
+        }
+        let size = lib.cell(node.cell()).size(node.size());
+        let wire = lib.wire_cap_per_fanout_pf();
+        let vh = lib.rail_voltage(Rail::High);
+        let vl = lib.rail_voltage(Rail::Low);
+
+        let mut high_sinks: Vec<NodeId> = net
+            .fanouts(gate)
+            .iter()
+            .copied()
+            .filter(|&s| {
+                let sn = net.node(s);
+                sn.rail() == Rail::High && !sn.is_converter()
+            })
+            .collect();
+        // multi-pin connections appear once; the converter splice rewires
+        // every pin of a sink at once
+        high_sinks.sort_unstable();
+        high_sinks.dedup();
+
+        let old_load = timing.load_pf(gate);
+        let derate = lib.derate(Rail::Low);
+
+        let gross = (old_load + size.internal_cap_pf) * (vh * vh - vl * vl);
+        if high_sinks.is_empty() {
+            // Pure cluster growth: load unchanged, only the derating bites.
+            let new_delay = derate * size.delay_ns(old_load);
+            return Some(DemotionPlan {
+                gate,
+                high_sinks,
+                new_delay_ns: new_delay,
+                converter_delay_ns: 0.0,
+                gross_gain_per_activity: gross,
+                net_gain_per_activity: gross,
+            });
+        }
+
+        // A converter absorbs the high sinks; the gate keeps its low sinks,
+        // its primary-output taps and gains the converter pin. Pin caps are
+        // summed with multiplicity (multi-pin connections load twice).
+        let conv = lib.cell(lib.converter()).size(dvs_netlist::SizeIx(0));
+        let high_cap: f64 = net
+            .fanouts(gate)
+            .iter()
+            .filter(|s| high_sinks.contains(s))
+            .map(|&s| {
+                let sn = net.node(s);
+                lib.cell(sn.cell()).size(sn.size()).input_cap_pf + wire
+            })
+            .sum();
+        let new_load = old_load - high_cap + conv.input_cap_pf + wire;
+        let new_delay = derate * size.delay_ns(new_load);
+        let conv_load = high_cap;
+        let converter_delay = conv.delay_ns(conv_load);
+
+        // Eq. (1) bookkeeping: the gate's net switches at Vlow with the
+        // reduced load; the converter's net switches at Vhigh and adds its
+        // internal capacitance.
+        let p_before = (old_load + size.internal_cap_pf) * vh * vh;
+        let p_after = (new_load + size.internal_cap_pf) * vl * vl
+            + (conv_load + conv.internal_cap_pf) * vh * vh;
+        Some(DemotionPlan {
+            gate,
+            high_sinks,
+            new_delay_ns: new_delay,
+            converter_delay_ns: converter_delay,
+            gross_gain_per_activity: gross,
+            net_gain_per_activity: p_before - p_after,
+        })
+    }
+
+    /// Extra delay this demotion adds on paths avoiding the converter, ns.
+    pub fn delta_direct_ns(&self, timing: &Timing) -> f64 {
+        self.new_delay_ns - timing.delay_ns(self.gate)
+    }
+
+    /// Extra delay on paths through the converter, ns.
+    pub fn delta_via_converter_ns(&self, timing: &Timing) -> f64 {
+        self.delta_direct_ns(timing) + self.converter_delay_ns
+    }
+}
+
+/// Returns `true` if the demotion described by `plan` keeps every path
+/// within its required time (with `guard_ns` margin).
+///
+/// Uses split required times: paths through surviving direct sinks (and
+/// primary outputs) absorb only the gate's own slowdown; paths through the
+/// new converter also absorb the converter delay.
+pub fn demotion_fits(
+    net: &Network,
+    timing: &Timing,
+    plan: &DemotionPlan,
+    guard_ns: f64,
+) -> bool {
+    let g = plan.gate;
+    let arr_in = timing.arrival_ns(g) - timing.delay_ns(g);
+    let is_high_sink = |s: NodeId| plan.high_sinks.contains(&s);
+    let req_direct = timing.required_via(net, g, true, |s| !is_high_sink(s));
+    let req_conv = timing.required_via(net, g, false, is_high_sink);
+    let direct_ok = arr_in + plan.new_delay_ns + guard_ns <= req_direct;
+    let conv_ok =
+        arr_in + plan.new_delay_ns + plan.converter_delay_ns + guard_ns <= req_conv;
+    direct_ok && conv_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_celllib::{compass, VoltagePair};
+    use dvs_netlist::Network;
+
+    fn lib() -> Library {
+        compass::compass_library(VoltagePair::default())
+    }
+
+    fn fixture(lib: &Library) -> (Network, NodeId, NodeId, NodeId) {
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("d");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", inv, &[a]);
+        let s1 = net.add_gate("s1", inv, &[g]);
+        let s2 = net.add_gate("s2", inv, &[g]);
+        net.add_output("o1", s1);
+        net.add_output("o2", s2);
+        (net, g, s1, s2)
+    }
+
+    #[test]
+    fn cluster_growth_plan_has_no_converter() {
+        let lib = lib();
+        let (mut net, g, s1, s2) = fixture(&lib);
+        net.set_rail(s1, Rail::Low);
+        net.set_rail(s2, Rail::Low);
+        let t = Timing::analyze(&net, &lib, 10.0);
+        let plan = DemotionPlan::build(&net, &lib, &t, g).unwrap();
+        assert!(plan.high_sinks.is_empty());
+        assert_eq!(plan.converter_delay_ns, 0.0);
+        assert!(plan.new_delay_ns > t.delay_ns(g));
+        assert!(plan.gross_gain_per_activity > 0.0);
+        assert_eq!(plan.gross_gain_per_activity, plan.net_gain_per_activity);
+        assert!(demotion_fits(&net, &t, &plan, 1e-9));
+    }
+
+    #[test]
+    fn mixed_sinks_need_converter() {
+        let lib = lib();
+        let (mut net, g, s1, _) = fixture(&lib);
+        net.set_rail(s1, Rail::Low);
+        let t = Timing::analyze(&net, &lib, 10.0);
+        let plan = DemotionPlan::build(&net, &lib, &t, g).unwrap();
+        assert_eq!(plan.high_sinks.len(), 1);
+        assert!(plan.converter_delay_ns > 0.0);
+        // converter tax makes the gain smaller than pure demotion
+        net.set_rail(net.find("s2").unwrap(), Rail::Low);
+        let t2 = Timing::analyze(&net, &lib, 10.0);
+        let pure = DemotionPlan::build(&net, &lib, &t2, g).unwrap();
+        assert!(plan.net_gain_per_activity < pure.net_gain_per_activity);
+        assert!(plan.net_gain_per_activity < plan.gross_gain_per_activity);
+    }
+
+    #[test]
+    fn tight_budget_rejects_demotion() {
+        let lib = lib();
+        let (net, g, _, _) = fixture(&lib);
+        // constraint exactly at the achieved delay: no slack anywhere
+        let tight = Timing::analyze(&net, &lib, 0.0).critical_delay_ns(&net);
+        let t = Timing::analyze(&net, &lib, tight);
+        let plan = DemotionPlan::build(&net, &lib, &t, g).unwrap();
+        assert!(!demotion_fits(&net, &t, &plan, 1e-9));
+    }
+
+    #[test]
+    fn low_gates_and_inputs_yield_none() {
+        let lib = lib();
+        let (mut net, g, _, _) = fixture(&lib);
+        let a = net.find("a").unwrap();
+        let t = Timing::analyze(&net, &lib, 10.0);
+        assert!(DemotionPlan::build(&net, &lib, &t, a).is_none());
+        net.set_rail(g, Rail::Low);
+        assert!(DemotionPlan::build(&net, &lib, &t, g).is_none());
+    }
+}

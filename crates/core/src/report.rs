@@ -1,0 +1,197 @@
+//! The paper's measurement protocol: independent runs of the three
+//! algorithms from the same mapped starting point, random-simulation power
+//! at 20 MHz, wall-clock CPU time.
+
+use std::time::{Duration, Instant};
+
+use dvs_celllib::Library;
+use dvs_netlist::{Network, Rail};
+use dvs_power::{estimate, simulate};
+use dvs_sta::Timing;
+use dvs_synth::{total_area, Prepared};
+
+use crate::{audit, cvs, dscale, gscale, FlowConfig};
+
+/// Per-algorithm measurement record (one cell of Tables 1 and 2).
+#[derive(Debug, Clone)]
+pub struct AlgoReport {
+    /// Power after the algorithm, µW.
+    pub power_uw: f64,
+    /// Improvement over the original power, % (Table 1).
+    pub improvement_pct: f64,
+    /// Low-rail logic gates (Table 2 `#`).
+    pub low_gates: usize,
+    /// `low_gates / logic_gates` (Table 2 `Ratio`).
+    pub low_ratio: f64,
+    /// Level converters inserted (Dscale only; 0 otherwise).
+    pub converters: usize,
+    /// Gates resized (Gscale only; 0 otherwise — Table 2 `Sizing #`).
+    pub resized: usize,
+    /// Fractional area increase (Table 2 `AreaInc`).
+    pub area_increase: f64,
+    /// Wall-clock run time (Table 1 `CPU` analogue).
+    pub cpu: Duration,
+}
+
+/// Full per-circuit record: one row of Tables 1 and 2.
+#[derive(Debug, Clone)]
+pub struct CircuitRun {
+    /// Circuit name.
+    pub name: String,
+    /// Logic gate count of the prepared network.
+    pub gates: usize,
+    /// Timing constraint used, ns.
+    pub tspec_ns: f64,
+    /// Power of the prepared single-Vdd network, µW (Table 1 `OrgPwr`).
+    pub org_pwr_uw: f64,
+    /// The CVS baseline.
+    pub cvs: AlgoReport,
+    /// The paper's `Dscale`.
+    pub dscale: AlgoReport,
+    /// The paper's `Gscale`.
+    pub gscale: AlgoReport,
+}
+
+/// Estimates total power of `net` with the configured random simulation.
+pub fn measure_power(net: &Network, lib: &Library, cfg: &FlowConfig) -> f64 {
+    let acts = simulate(net, lib, cfg.sim_vectors, cfg.sim_seed);
+    estimate(net, lib, &acts, cfg.fclk_mhz).total_uw
+}
+
+fn low_logic_gates(net: &Network) -> usize {
+    net.gate_ids()
+        .filter(|&g| !net.node(g).is_converter() && net.node(g).rail() == Rail::Low)
+        .count()
+}
+
+fn report(
+    net: &Network,
+    lib: &Library,
+    cfg: &FlowConfig,
+    org_pwr: f64,
+    area_org: f64,
+    converters: usize,
+    resized: usize,
+    cpu: Duration,
+) -> AlgoReport {
+    let power = measure_power(net, lib, cfg);
+    let logic = net.logic_gate_count();
+    let low = low_logic_gates(net);
+    AlgoReport {
+        power_uw: power,
+        improvement_pct: (org_pwr - power) / org_pwr * 100.0,
+        low_gates: low,
+        low_ratio: if logic == 0 { 0.0 } else { low as f64 / logic as f64 },
+        converters,
+        resized,
+        area_increase: (total_area(net, lib) - area_org) / area_org,
+        cpu,
+    }
+}
+
+/// Runs CVS, `Dscale` and `Gscale` independently on clones of a prepared
+/// circuit and measures everything the paper's two tables report.
+///
+/// Every run is audited ([`audit`]) before measurement; a violated
+/// invariant is a bug, so this panics rather than reporting nonsense.
+///
+/// # Panics
+///
+/// Panics if any algorithm breaks a timing/compatibility invariant.
+pub fn run_circuit(
+    name: &str,
+    prepared: &Prepared,
+    lib: &Library,
+    cfg: &FlowConfig,
+) -> CircuitRun {
+    cfg.assert_valid();
+    let tspec = prepared.tspec_ns;
+    let area_org = total_area(&prepared.network, lib);
+    let org_pwr = measure_power(&prepared.network, lib, cfg);
+
+    // CVS
+    let mut cvs_net = prepared.network.clone();
+    let t0 = Instant::now();
+    let mut timing = Timing::analyze(&cvs_net, lib, tspec);
+    let _ = cvs(&mut cvs_net, lib, &mut timing, cfg.guard_ns);
+    let cvs_cpu = t0.elapsed();
+    audit(&cvs_net, lib, tspec, false).expect("CVS broke an invariant");
+    let cvs_rep = report(&cvs_net, lib, cfg, org_pwr, area_org, 0, 0, cvs_cpu);
+
+    // Dscale
+    let mut d_net = prepared.network.clone();
+    let t0 = Instant::now();
+    let d_out = dscale(&mut d_net, lib, tspec, cfg);
+    let d_cpu = t0.elapsed();
+    audit(&d_net, lib, tspec, true).expect("Dscale broke an invariant");
+    let d_rep = report(
+        &d_net,
+        lib,
+        cfg,
+        org_pwr,
+        area_org,
+        d_out.converters,
+        0,
+        d_cpu,
+    );
+
+    // Gscale
+    let mut g_net = prepared.network.clone();
+    let t0 = Instant::now();
+    let g_out = gscale(&mut g_net, lib, tspec, cfg);
+    let g_cpu = t0.elapsed();
+    audit(&g_net, lib, tspec, false).expect("Gscale broke an invariant");
+    let g_rep = report(
+        &g_net,
+        lib,
+        cfg,
+        org_pwr,
+        area_org,
+        0,
+        g_out.resized.len(),
+        g_cpu,
+    );
+
+    CircuitRun {
+        name: name.to_owned(),
+        gates: prepared.network.logic_gate_count(),
+        tspec_ns: tspec,
+        org_pwr_uw: org_pwr,
+        cvs: cvs_rep,
+        dscale: d_rep,
+        gscale: g_rep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_celllib::{compass, VoltagePair};
+    use dvs_synth::{mcnc, prepare};
+
+    #[test]
+    fn run_circuit_produces_consistent_row() {
+        let lib = compass::compass_library(VoltagePair::default());
+        let net = mcnc::generate("x2", &lib).unwrap();
+        let prepared = prepare(net, &lib, 1.2);
+        let cfg = FlowConfig {
+            sim_vectors: 512,
+            ..FlowConfig::default()
+        };
+        let run = run_circuit("x2", &prepared, &lib, &cfg);
+        assert!(run.org_pwr_uw > 0.0);
+        // improvements are consistent with measured powers
+        for rep in [&run.cvs, &run.dscale, &run.gscale] {
+            let expect = (run.org_pwr_uw - rep.power_uw) / run.org_pwr_uw * 100.0;
+            assert!((rep.improvement_pct - expect).abs() < 1e-9);
+            assert!(rep.low_ratio >= 0.0 && rep.low_ratio <= 1.0);
+        }
+        // ordering: Dscale ≥ CVS (same slack, converters optional);
+        // Gscale ≥ CVS (CVS is its first phase)
+        assert!(run.dscale.improvement_pct >= run.cvs.improvement_pct - 0.5);
+        assert!(run.gscale.improvement_pct >= run.cvs.improvement_pct - 0.5);
+        assert_eq!(run.cvs.converters, 0);
+        assert_eq!(run.gscale.converters, 0);
+        assert!(run.gscale.area_increase <= cfg.max_area_increase + 1e-6);
+    }
+}

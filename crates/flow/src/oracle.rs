@@ -1,0 +1,182 @@
+//! Brute-force reference implementations.
+//!
+//! Exponential-time but obviously correct versions of the crate's
+//! optimisers. They back the property-based tests and remain public so that
+//! users can certify results on small designs (≤ ~20 nodes).
+
+use crate::INF;
+
+/// Reachability closure as one bool matrix row per node (`reach[u][v]` ⇒
+/// `u` reaches `v`, irreflexive).
+pub fn closure(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
+    let mut reach = vec![vec![false; n]; n];
+    for &(u, v) in edges {
+        reach[u][v] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Returns `true` if `set` is an antichain of the DAG: no member reaches
+/// another member.
+pub fn is_antichain(n: usize, edges: &[(usize, usize)], set: &[usize]) -> bool {
+    let reach = closure(n, edges);
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if reach[u][v] || reach[v][u] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exhaustive maximum-weight antichain. Intended for `n ≤ 20`.
+///
+/// Returns `(weight, lexicographically-first optimal set)`.
+///
+/// # Panics
+///
+/// Panics if `n > 25` (subset enumeration would not terminate in reasonable
+/// time).
+pub fn brute_antichain(n: usize, edges: &[(usize, usize)], weights: &[u64]) -> (u64, Vec<usize>) {
+    assert!(n <= 25, "brute force limited to 25 nodes, got {n}");
+    let reach = closure(n, edges);
+    let mut best = (0u64, Vec::new());
+    for mask in 0u32..(1u32 << n) {
+        let set: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+        let mut ok = true;
+        'check: for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                if reach[u][v] || reach[v][u] {
+                    ok = false;
+                    break 'check;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let w: u64 = set.iter().map(|&v| weights[v]).sum();
+        if w > best.0 {
+            best = (w, set);
+        }
+    }
+    best
+}
+
+/// Returns `true` if removing `cut` disconnects every source→sink path.
+pub fn is_separator(
+    n: usize,
+    edges: &[(usize, usize)],
+    sources: &[usize],
+    sinks: &[usize],
+    cut: &[usize],
+) -> bool {
+    let blocked: Vec<bool> = (0..n).map(|v| cut.contains(&v)).collect();
+    let mut reach = vec![false; n];
+    let mut stack: Vec<usize> = sources.iter().copied().filter(|&v| !blocked[v]).collect();
+    for &v in &stack {
+        reach[v] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for &(a, b) in edges {
+            if a == u && !blocked[b] && !reach[b] {
+                reach[b] = true;
+                stack.push(b);
+            }
+        }
+    }
+    sinks.iter().all(|&t| blocked[t] || !reach[t])
+}
+
+/// Exhaustive minimum-weight vertex separator. Intended for `n ≤ 20`.
+///
+/// Nodes with weight ≥ [`INF`] are never selected; returns `None` when no
+/// finite separator exists.
+///
+/// # Panics
+///
+/// Panics if `n > 25`.
+pub fn brute_separator(
+    n: usize,
+    edges: &[(usize, usize)],
+    weights: &[u64],
+    sources: &[usize],
+    sinks: &[usize],
+) -> Option<(u64, Vec<usize>)> {
+    assert!(n <= 25, "brute force limited to 25 nodes, got {n}");
+    let mut best: Option<(u64, Vec<usize>)> = None;
+    for mask in 0u32..(1u32 << n) {
+        let set: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+        if set.iter().any(|&v| weights[v] >= INF) {
+            continue;
+        }
+        let w: u64 = set.iter().map(|&v| weights[v]).sum();
+        if best.as_ref().is_some_and(|(bw, _)| w >= *bw) {
+            continue;
+        }
+        if is_separator(n, edges, sources, sinks, &set) {
+            best = Some((w, set));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_transits() {
+        let c = closure(3, &[(0, 1), (1, 2)]);
+        assert!(c[0][2]);
+        assert!(!c[2][0]);
+        assert!(!c[0][0]);
+    }
+
+    #[test]
+    fn antichain_predicate() {
+        let edges = [(0, 1), (1, 2)];
+        assert!(is_antichain(3, &edges, &[0]));
+        assert!(is_antichain(3, &edges, &[]));
+        assert!(!is_antichain(3, &edges, &[0, 2]));
+    }
+
+    #[test]
+    fn brute_antichain_simple() {
+        let (w, set) = brute_antichain(3, &[(0, 1), (0, 2)], &[1, 2, 3]);
+        assert_eq!(w, 5);
+        assert_eq!(set, vec![1, 2]);
+    }
+
+    #[test]
+    fn separator_predicate() {
+        let edges = [(0, 1), (1, 2)];
+        assert!(is_separator(3, &edges, &[0], &[2], &[1]));
+        assert!(is_separator(3, &edges, &[0], &[2], &[0]));
+        assert!(!is_separator(3, &edges, &[0], &[2], &[]));
+    }
+
+    #[test]
+    fn brute_separator_simple() {
+        let (w, set) = brute_separator(3, &[(0, 1), (1, 2)], &[5, 2, 7], &[0], &[2]).unwrap();
+        assert_eq!(w, 2);
+        assert_eq!(set, vec![1]);
+    }
+
+    #[test]
+    fn brute_separator_none_when_all_inf() {
+        assert!(brute_separator(2, &[(0, 1)], &[INF, INF], &[0], &[1]).is_none());
+    }
+}

@@ -1,0 +1,529 @@
+//! Reader and writer for the Berkeley Logic Interchange Format (BLIF),
+//! the native format of the MCNC benchmark set the paper evaluates on.
+//!
+//! Only the combinational subset is supported: `.model`, `.inputs`,
+//! `.outputs`, `.names` (with `0/1/-` cubes and a `0`/`1` output column) and
+//! `.end`. Latches, subcircuits and don't-care specifications are rejected
+//! with a descriptive [`NetlistError::BlifParse`] error, because the DAC'99
+//! flow operates on combinational blocks only.
+//!
+//! # Example
+//!
+//! ```
+//! use dvs_netlist::blif;
+//!
+//! let text = "\
+//! .model tiny
+//! .inputs a b
+//! .outputs y
+//! .names a b y
+//! 11 1
+//! .end
+//! ";
+//! let net = blif::parse(text)?;
+//! assert_eq!(net.name(), "tiny");
+//! assert_eq!(net.primary_inputs().len(), 2);
+//! let round_trip = blif::write(&net);
+//! let again = blif::parse(&round_trip)?;
+//! assert_eq!(again.node_count(), net.node_count());
+//! # Ok::<(), dvs_netlist::NetlistError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Cube, NetlistError, SopCover, SopNetwork, SopNodeId};
+
+/// A `.names` block as read from the file, before dependency resolution.
+#[derive(Debug)]
+struct RawNames {
+    signals: Vec<String>,
+    cubes: Vec<(Vec<Option<bool>>, bool)>,
+    line: usize,
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::BlifParse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses BLIF text into a [`SopNetwork`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BlifParse`] on malformed or unsupported input and
+/// [`NetlistError::Cycle`] if the `.names` definitions are cyclic.
+pub fn parse(text: &str) -> Result<SopNetwork, NetlistError> {
+    let mut model = String::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut names: Vec<RawNames> = Vec::new();
+    let mut current: Option<RawNames> = None;
+    let mut saw_end = false;
+
+    // Join `\` continuation lines first, keeping line numbers of the start.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (ix, raw) in text.lines().enumerate() {
+        let line_no = ix + 1;
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let trimmed = no_comment.trim_end();
+        let (starts, body) = match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(trimmed.trim_start());
+                (start, acc)
+            }
+            None => (line_no, trimmed.to_owned()),
+        };
+        if let Some(stripped) = body.strip_suffix('\\') {
+            pending = Some((starts, stripped.to_owned()));
+        } else if !body.trim().is_empty() {
+            logical_lines.push((starts, body));
+        }
+    }
+    if let Some((line, _)) = pending {
+        return Err(parse_err(line, "dangling line continuation"));
+    }
+
+    for (line_no, line) in logical_lines {
+        let mut tokens = line.split_whitespace();
+        let first = match tokens.next() {
+            Some(t) => t,
+            None => continue,
+        };
+        if saw_end {
+            return Err(parse_err(line_no, "content after .end"));
+        }
+        match first {
+            ".model" => {
+                model = tokens.next().unwrap_or("unnamed").to_owned();
+            }
+            ".inputs" => inputs.extend(tokens.map(str::to_owned)),
+            ".outputs" => outputs.extend(tokens.map(str::to_owned)),
+            ".names" => {
+                if let Some(block) = current.take() {
+                    names.push(block);
+                }
+                let signals: Vec<String> = tokens.map(str::to_owned).collect();
+                if signals.is_empty() {
+                    return Err(parse_err(line_no, ".names with no signals"));
+                }
+                current = Some(RawNames {
+                    signals,
+                    cubes: Vec::new(),
+                    line: line_no,
+                });
+            }
+            ".end" => {
+                if let Some(block) = current.take() {
+                    names.push(block);
+                }
+                saw_end = true;
+            }
+            ".latch" | ".subckt" | ".gate" | ".mlatch" | ".exdc" => {
+                return Err(parse_err(
+                    line_no,
+                    format!("unsupported construct `{first}` (combinational BLIF only)"),
+                ));
+            }
+            tok if tok.starts_with('.') => {
+                // Ignore benign annotations such as .default_input_arrival.
+            }
+            cube_text => {
+                let block = current
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line_no, "cube outside .names block"))?;
+                let width = block.signals.len() - 1;
+                let (cube_part, out_part) = if width == 0 {
+                    // constant node: the single column *is* the output
+                    (String::new(), cube_text.to_owned())
+                } else {
+                    let out_tok = tokens
+                        .next()
+                        .ok_or_else(|| parse_err(line_no, "cube missing output column"))?;
+                    (cube_text.to_owned(), out_tok.to_owned())
+                };
+                let out_part = out_part.as_str();
+                if cube_part.chars().count() != width {
+                    return Err(parse_err(
+                        line_no,
+                        format!(
+                            "cube `{cube_part}` has {} columns, expected {width}",
+                            cube_part.chars().count()
+                        ),
+                    ));
+                }
+                let mut lits = Vec::with_capacity(width);
+                for ch in cube_part.chars() {
+                    lits.push(match ch {
+                        '1' => Some(true),
+                        '0' => Some(false),
+                        '-' => None,
+                        other => {
+                            return Err(parse_err(line_no, format!("bad cube literal `{other}`")))
+                        }
+                    });
+                }
+                let out = match out_part {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(parse_err(line_no, format!("bad output column `{other}`")))
+                    }
+                };
+                block.cubes.push((lits, out));
+            }
+        }
+    }
+    if let Some(block) = current.take() {
+        names.push(block);
+    }
+
+    build_network(model, inputs, outputs, names)
+}
+
+fn build_network(
+    model: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    names: Vec<RawNames>,
+) -> Result<SopNetwork, NetlistError> {
+    let mut net = SopNetwork::new(model);
+    for name in &inputs {
+        net.add_input(name.clone())?;
+    }
+
+    // .names blocks may appear in any order; resolve dependencies by
+    // repeated passes (the count is bounded by the logic depth).
+    let mut defined: BTreeMap<&str, usize> = BTreeMap::new();
+    for (ix, block) in names.iter().enumerate() {
+        let target = block.signals.last().expect("non-empty").as_str();
+        if defined.insert(target, ix).is_some() {
+            return Err(NetlistError::DuplicateName {
+                name: target.to_owned(),
+            });
+        }
+    }
+
+    let mut placed = vec![false; names.len()];
+    let mut remaining = names.len();
+    while remaining > 0 {
+        let mut progressed = false;
+        for (ix, block) in names.iter().enumerate() {
+            if placed[ix] {
+                continue;
+            }
+            let deps = &block.signals[..block.signals.len() - 1];
+            if !deps.iter().all(|d| net.find(d).is_some()) {
+                continue;
+            }
+            let fanins: Vec<SopNodeId> = deps.iter().map(|d| net.find(d).unwrap()).collect();
+            let target = block.signals.last().unwrap().clone();
+            let on_cubes: Vec<&(Vec<Option<bool>>, bool)> =
+                block.cubes.iter().filter(|(_, o)| *o).collect();
+            let off_cubes: Vec<&(Vec<Option<bool>>, bool)> =
+                block.cubes.iter().filter(|(_, o)| !*o).collect();
+            if !on_cubes.is_empty() && !off_cubes.is_empty() {
+                return Err(parse_err(
+                    block.line,
+                    "mixed ON-set and OFF-set cubes in one .names block",
+                ));
+            }
+            let cover = if block.cubes.is_empty() {
+                SopCover::constant_zero()
+            } else if off_cubes.is_empty() {
+                SopCover {
+                    cubes: on_cubes.iter().map(|(l, _)| Cube(l.clone())).collect(),
+                    complemented: false,
+                }
+            } else {
+                SopCover {
+                    cubes: off_cubes.iter().map(|(l, _)| Cube(l.clone())).collect(),
+                    complemented: true,
+                }
+            };
+            net.add_logic(target, fanins, cover)?;
+            placed[ix] = true;
+            remaining -= 1;
+            progressed = true;
+        }
+        if !progressed {
+            let stuck = names
+                .iter()
+                .enumerate()
+                .find(|(ix, _)| !placed[*ix])
+                .map(|(_, b)| b)
+                .expect("remaining > 0");
+            // Distinguish a genuinely undefined signal from a cyclic
+            // definition: a dependency that no `.names` block defines is an
+            // input typo; one that is defined but unplaceable is a cycle.
+            let undefined = stuck.signals[..stuck.signals.len() - 1]
+                .iter()
+                .find(|d| net.find(d).is_none() && !defined.contains_key(d.as_str()));
+            return Err(match undefined {
+                Some(dep) => parse_err(
+                    stuck.line,
+                    format!("signal `{dep}` is never defined (and is not an input)"),
+                ),
+                None => NetlistError::Cycle {
+                    node: stuck.signals.last().unwrap().clone(),
+                },
+            });
+        }
+    }
+
+    for name in &outputs {
+        let id = net
+            .find(name)
+            .ok_or_else(|| NetlistError::DanglingOutput {
+                output: name.clone(),
+            })?;
+        net.add_output(id);
+    }
+    Ok(net)
+}
+
+/// Serialises a [`SopNetwork`] back to BLIF text.
+///
+/// Constant nodes are written as cube-less (`constant 0`) or single-`1`
+/// blocks, matching common BLIF practice; ON-set/OFF-set polarity is
+/// preserved, so `parse(write(n))` is structurally identical to `n`.
+pub fn write(net: &SopNetwork) -> String {
+    let mut out = String::new();
+    writeln!(out, ".model {}", net.name()).unwrap();
+    write!(out, ".inputs").unwrap();
+    for &pi in net.primary_inputs() {
+        write!(out, " {}", net.node(pi).name()).unwrap();
+    }
+    writeln!(out).unwrap();
+    write!(out, ".outputs").unwrap();
+    for &po in net.primary_outputs() {
+        write!(out, " {}", net.node(po).name()).unwrap();
+    }
+    writeln!(out).unwrap();
+    for id in net.node_ids() {
+        if let crate::SopNode::Logic {
+            name,
+            fanins,
+            cover,
+        } = net.node(id)
+        {
+            write!(out, ".names").unwrap();
+            for &f in fanins {
+                write!(out, " {}", net.node(f).name()).unwrap();
+            }
+            writeln!(out, " {name}").unwrap();
+            if cover.is_constant() {
+                if cover.complemented {
+                    // constant one
+                    writeln!(out, "1").unwrap();
+                }
+                // constant zero: empty cover
+            } else {
+                let out_col = if cover.complemented { '0' } else { '1' };
+                for cube in &cover.cubes {
+                    writeln!(out, "{cube} {out_col}").unwrap();
+                }
+            }
+        }
+    }
+    writeln!(out, ".end").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL_ADDER: &str = "\
+# one-bit full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn parses_full_adder() {
+        let net = parse(FULL_ADDER).unwrap();
+        assert_eq!(net.name(), "fa");
+        assert_eq!(net.primary_inputs().len(), 3);
+        assert_eq!(net.primary_outputs().len(), 2);
+        let sum = net.find("sum").unwrap();
+        let cout = net.find("cout").unwrap();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let vals = net.eval(&[a, b, c]);
+                    let total = a as u8 + b as u8 + c as u8;
+                    assert_eq!(vals[sum.index()], total % 2 == 1);
+                    assert_eq!(vals[cout.index()], total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let net = parse(FULL_ADDER).unwrap();
+        let text = write(&net);
+        let again = parse(&text).unwrap();
+        let s1 = net.find("sum").unwrap();
+        let s2 = again.find("sum").unwrap();
+        for pattern in 0..8u8 {
+            let bits = [
+                pattern & 1 != 0,
+                pattern & 2 != 0,
+                pattern & 4 != 0,
+            ];
+            assert_eq!(
+                net.eval(&bits)[s1.index()],
+                again.eval(&bits)[s2.index()],
+                "pattern {pattern:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn off_set_cover() {
+        let text = "\
+.model offset
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let net = parse(text).unwrap();
+        let y = net.find("y").unwrap();
+        assert!(!net.eval(&[true, true])[y.index()]);
+        assert!(net.eval(&[true, false])[y.index()]);
+    }
+
+    #[test]
+    fn out_of_order_names_resolved() {
+        let text = "\
+.model ooo
+.inputs a
+.outputs y
+.names mid y
+1 1
+.names a mid
+0 1
+.end
+";
+        let net = parse(text).unwrap();
+        let y = net.find("y").unwrap();
+        assert!(net.eval(&[false])[y.index()]);
+        assert!(!net.eval(&[true])[y.index()]);
+    }
+
+    #[test]
+    fn line_continuations() {
+        let text = ".model c\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let net = parse(text).unwrap();
+        assert_eq!(net.primary_inputs().len(), 2);
+    }
+
+    #[test]
+    fn constant_nodes() {
+        let text = "\
+.model k
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+";
+        let net = parse(text).unwrap();
+        let one = net.find("one").unwrap();
+        let zero = net.find("zero").unwrap();
+        let vals = net.eval(&[true]);
+        assert!(vals[one.index()]);
+        assert!(!vals[zero.index()]);
+        // round-trip keeps constants
+        let again = parse(&write(&net)).unwrap();
+        let vals = again.eval(&[false]);
+        assert!(vals[again.find("one").unwrap().index()]);
+        assert!(!vals[again.find("zero").unwrap().index()]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = ".model l\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains(".latch"));
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let text = ".model u\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let text = "\
+.model cyc
+.inputs a
+.outputs y
+.names y2 y
+1 1
+.names y y2
+1 1
+.end
+";
+        assert!(matches!(parse(text), Err(NetlistError::Cycle { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_cube() {
+        let text = ".model b\n.inputs a b\n.outputs y\n.names a b y\n1x 1\n.end\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let text = ".model b\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_mixed_polarity() {
+        let text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_output() {
+        let text = ".model d\n.inputs a\n.outputs nowhere\n.end\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::DanglingOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let text = "# header\n.model c # trailing\n.inputs a\n.outputs y\n.names a y # copy\n1 1\n.end\n";
+        let net = parse(text).unwrap();
+        assert_eq!(net.name(), "c");
+    }
+}

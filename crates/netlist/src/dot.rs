@@ -1,0 +1,146 @@
+//! Graphviz DOT export for visual inspection of assignments.
+//!
+//! Low-rail gates render filled green, level converters as orange
+//! diamonds, primary I/O as boxes — a one-glance view of how the cluster
+//! (or the scattered Dscale islands) lie in the circuit.
+
+use std::fmt::Write as _;
+
+use crate::{Network, Rail};
+
+impl Network {
+    /// Renders the live network as a Graphviz `digraph`.
+    ///
+    /// Node labels carry the instance name and (for gates) the drive-size
+    /// index; colours encode the rail assignment. Pipe the output through
+    /// `dot -Tsvg` to render.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dvs_netlist::{CellRef, Network};
+    ///
+    /// let mut net = Network::new("d");
+    /// let a = net.add_input("a");
+    /// let g = net.add_gate("g", CellRef(0), &[a]);
+    /// net.add_output("y", g);
+    /// let dot = net.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("\"g\""));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "digraph \"{}\" {{", self.name()).unwrap();
+        writeln!(out, "  rankdir=LR;").unwrap();
+        writeln!(out, "  node [fontname=\"monospace\"];").unwrap();
+        for id in self.node_ids() {
+            let node = self.node(id);
+            if node.is_input() {
+                writeln!(
+                    out,
+                    "  \"{}\" [shape=box, style=filled, fillcolor=lightblue];",
+                    node.name()
+                )
+                .unwrap();
+            } else if node.is_converter() {
+                writeln!(
+                    out,
+                    "  \"{}\" [shape=diamond, style=filled, fillcolor=orange, label=\"{}\\nLC\"];",
+                    node.name(),
+                    node.name()
+                )
+                .unwrap();
+            } else {
+                let fill = match node.rail() {
+                    Rail::Low => "palegreen",
+                    Rail::High => "white",
+                };
+                writeln!(
+                    out,
+                    "  \"{}\" [shape=ellipse, style=filled, fillcolor={}, label=\"{}\\nd{}\"];",
+                    node.name(),
+                    fill,
+                    node.name(),
+                    node.size().index()
+                )
+                .unwrap();
+            }
+        }
+        for id in self.node_ids() {
+            for &f in self.fanins(id) {
+                writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\";",
+                    self.node(f).name(),
+                    self.node(id).name()
+                )
+                .unwrap();
+            }
+        }
+        for (name, driver) in self.primary_outputs() {
+            writeln!(
+                out,
+                "  \"po_{name}\" [shape=box, style=filled, fillcolor=lightyellow, label=\"{name}\"];"
+            )
+            .unwrap();
+            writeln!(out, "  \"{}\" -> \"po_{name}\";", self.node(*driver).name()).unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellRef;
+
+    fn demo() -> Network {
+        let mut net = Network::new("demo");
+        let a = net.add_input("a");
+        let g1 = net.add_gate("g1", CellRef(0), &[a]);
+        let g2 = net.add_gate("g2", CellRef(1), &[g1]);
+        net.set_rail(g2, Rail::Low);
+        net.add_output("y", g2);
+        net
+    }
+
+    #[test]
+    fn dot_mentions_every_node_and_edge() {
+        let net = demo();
+        let dot = net.to_dot();
+        for name in ["\"a\"", "\"g1\"", "\"g2\"", "\"po_y\""] {
+            assert!(dot.contains(name), "missing {name} in\n{dot}");
+        }
+        assert!(dot.contains("\"g1\" -> \"g2\""));
+        assert!(dot.contains("palegreen"), "low gate must be coloured");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn converters_render_distinctly() {
+        let mut net = demo();
+        let g1 = net.find("g1").unwrap();
+        let g2 = net.find("g2").unwrap();
+        net.set_rail(g1, Rail::Low);
+        net.set_rail(g2, Rail::High);
+        net.insert_converter(g1, &[g2], false, CellRef(9)).unwrap();
+        let dot = net.to_dot();
+        assert!(dot.contains("diamond"));
+        assert!(dot.contains("orange"));
+    }
+
+    #[test]
+    fn dead_nodes_are_omitted() {
+        let mut net = demo();
+        let g1 = net.find("g1").unwrap();
+        let g2 = net.find("g2").unwrap();
+        net.set_rail(g1, Rail::Low);
+        net.set_rail(g2, Rail::Low);
+        let conv = net.insert_converter(g1, &[g2], false, CellRef(9)).unwrap();
+        let conv_name = net.node(conv).name().to_owned();
+        net.remove_converter(conv).unwrap();
+        let dot = net.to_dot();
+        assert!(!dot.contains(&format!("\"{conv_name}\"")));
+    }
+}

@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing logic networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A combinational cycle was detected through the named node.
+    Cycle {
+        /// Name of a node on the cycle.
+        node: String,
+    },
+    /// A node references a fanin that does not exist.
+    DanglingFanin {
+        /// Name of the offending node.
+        node: String,
+        /// The out-of-range fanin index.
+        fanin: u32,
+    },
+    /// A gate's fanin count does not match its cell's pin count.
+    ArityMismatch {
+        /// Name of the offending gate.
+        node: String,
+        /// Fanin count found on the gate.
+        found: usize,
+        /// Pin count expected by the cell.
+        expected: usize,
+    },
+    /// Two nodes share the same name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A primary output references a missing driver.
+    DanglingOutput {
+        /// Name of the primary output.
+        output: String,
+    },
+    /// The BLIF text could not be parsed.
+    BlifParse {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A structural operation was applied to an unsuitable node.
+    InvalidOperation {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Cycle { node } => {
+                write!(f, "combinational cycle through node `{node}`")
+            }
+            NetlistError::DanglingFanin { node, fanin } => {
+                write!(f, "node `{node}` references missing fanin index {fanin}")
+            }
+            NetlistError::ArityMismatch {
+                node,
+                found,
+                expected,
+            } => write!(
+                f,
+                "gate `{node}` has {found} fanins but its cell expects {expected}"
+            ),
+            NetlistError::DuplicateName { name } => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            NetlistError::DanglingOutput { output } => {
+                write!(f, "primary output `{output}` has no driver")
+            }
+            NetlistError::BlifParse { line, message } => {
+                write!(f, "BLIF parse error at line {line}: {message}")
+            }
+            NetlistError::InvalidOperation { message } => {
+                write!(f, "invalid network operation: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = NetlistError::Cycle {
+            node: "n42".to_owned(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("n42"));
+        assert!(text.starts_with("combinational"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+
+    #[test]
+    fn blif_error_carries_line() {
+        let err = NetlistError::BlifParse {
+            line: 7,
+            message: "unexpected token".to_owned(),
+        };
+        assert!(err.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Technology-independent sum-of-products network, the representation
+//! produced by the BLIF reader and consumed by the technology mapper.
+//!
+//! This mirrors the SIS logic network the paper starts from: each internal
+//! node computes a single-output SOP over its fanins. Only the structural
+//! subset needed by the flow is modelled (no latches, no don't-cares).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::NetlistError;
+
+/// Identifier of a node in a [`SopNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SopNodeId(pub u32);
+
+impl SopNodeId {
+    /// Dense index for side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One product term: a value per fanin position.
+///
+/// `Some(true)` requires the fanin to be 1, `Some(false)` requires 0 and
+/// `None` is a don't-care (`-` in BLIF).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cube(pub Vec<Option<bool>>);
+
+impl Cube {
+    /// Evaluates the cube against concrete fanin values.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        self.0
+            .iter()
+            .zip(inputs)
+            .all(|(lit, &v)| lit.map_or(true, |want| want == v))
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for lit in &self.0 {
+            let c = match lit {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sum-of-products cover in the ON-set convention: the node output is 1 iff
+/// some cube matches (after optional output inversion for `.names` covers
+/// written in the OFF-set, i.e. output column `0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SopCover {
+    /// Product terms of the cover.
+    pub cubes: Vec<Cube>,
+    /// `true` when the cover describes the OFF-set and the output must be
+    /// complemented.
+    pub complemented: bool,
+}
+
+impl SopCover {
+    /// Constant-0 cover (empty ON-set).
+    pub fn constant_zero() -> Self {
+        SopCover {
+            cubes: Vec::new(),
+            complemented: false,
+        }
+    }
+
+    /// Constant-1 cover.
+    pub fn constant_one() -> Self {
+        SopCover {
+            cubes: Vec::new(),
+            complemented: true,
+        }
+    }
+
+    /// Evaluates the cover on concrete fanin values.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        let on = self.cubes.iter().any(|c| c.eval(inputs));
+        on != self.complemented
+    }
+
+    /// Returns `true` if the cover is a constant function.
+    pub fn is_constant(&self) -> bool {
+        self.cubes.is_empty()
+    }
+}
+
+/// A node of a [`SopNetwork`]: a primary input or an SOP function node.
+#[derive(Debug, Clone)]
+pub enum SopNode {
+    /// Primary input.
+    Input {
+        /// Signal name.
+        name: String,
+    },
+    /// Logic node computing an SOP over its fanins.
+    Logic {
+        /// Signal name of the node output.
+        name: String,
+        /// Drivers of the cover columns, in column order.
+        fanins: Vec<SopNodeId>,
+        /// The cover itself.
+        cover: SopCover,
+    },
+}
+
+impl SopNode {
+    /// Signal name of the node.
+    pub fn name(&self) -> &str {
+        match self {
+            SopNode::Input { name } | SopNode::Logic { name, .. } => name,
+        }
+    }
+
+    /// Fanins of the node (empty for inputs).
+    pub fn fanins(&self) -> &[SopNodeId] {
+        match self {
+            SopNode::Input { .. } => &[],
+            SopNode::Logic { fanins, .. } => fanins,
+        }
+    }
+}
+
+/// A technology-independent combinational network of SOP nodes.
+#[derive(Debug, Clone, Default)]
+pub struct SopNetwork {
+    name: String,
+    nodes: Vec<SopNode>,
+    by_name: BTreeMap<String, SopNodeId>,
+    inputs: Vec<SopNodeId>,
+    outputs: Vec<SopNodeId>,
+}
+
+impl SopNetwork {
+    /// Creates an empty network with the given model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SopNetwork {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<SopNodeId, NetlistError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(NetlistError::DuplicateName { name });
+        }
+        let id = SopNodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(SopNode::Input { name });
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a logic node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken, or
+    /// [`NetlistError::ArityMismatch`] if some cube width differs from the
+    /// fanin count.
+    pub fn add_logic(
+        &mut self,
+        name: impl Into<String>,
+        fanins: Vec<SopNodeId>,
+        cover: SopCover,
+    ) -> Result<SopNodeId, NetlistError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(NetlistError::DuplicateName { name });
+        }
+        for cube in &cover.cubes {
+            if cube.0.len() != fanins.len() {
+                return Err(NetlistError::ArityMismatch {
+                    node: name,
+                    found: cube.0.len(),
+                    expected: fanins.len(),
+                });
+            }
+        }
+        let id = SopNodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(SopNode::Logic {
+            name,
+            fanins,
+            cover,
+        });
+        Ok(id)
+    }
+
+    /// Marks an existing node as a primary output.
+    pub fn add_output(&mut self, id: SopNodeId) {
+        self.outputs.push(id);
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: SopNodeId) -> &SopNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Finds a node by signal name.
+    pub fn find(&self, name: &str) -> Option<SopNodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of nodes (inputs + logic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn primary_inputs(&self) -> &[SopNodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn primary_outputs(&self) -> &[SopNodeId] {
+        &self.outputs
+    }
+
+    /// Ids of all nodes in insertion order (which is topological for
+    /// networks built by the BLIF reader after its dependency sort).
+    pub fn node_ids(&self) -> impl Iterator<Item = SopNodeId> + '_ {
+        (0..self.nodes.len() as u32).map(SopNodeId)
+    }
+
+    /// Returns the node ids in topological order (fanins first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cycle`] on cyclic definitions.
+    pub fn topo_order(&self) -> Result<Vec<SopNodeId>, NetlistError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0u32; n];
+        let mut fanouts: Vec<Vec<SopNodeId>> = vec![Vec::new(); n];
+        for id in self.node_ids() {
+            for &f in self.node(id).fanins() {
+                indeg[id.index()] += 1;
+                fanouts[f.index()].push(id);
+            }
+        }
+        let mut queue: Vec<SopNodeId> =
+            self.node_ids().filter(|i| indeg[i.index()] == 0).collect();
+        let mut head = 0;
+        let mut order = Vec::with_capacity(n);
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &fo in &fanouts[id.index()] {
+                indeg[fo.index()] -= 1;
+                if indeg[fo.index()] == 0 {
+                    queue.push(fo);
+                }
+            }
+        }
+        if order.len() != n {
+            let culprit = self
+                .node_ids()
+                .find(|i| indeg[i.index()] > 0)
+                .expect("unprocessed node on cycle");
+            return Err(NetlistError::Cycle {
+                node: self.node(culprit).name().to_owned(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Evaluates the whole network on one input assignment, returning the
+    /// value of every node. `inputs` follows [`SopNetwork::primary_inputs`]
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong length or the network is cyclic.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.inputs.len(), "wrong input vector size");
+        let mut value = vec![false; self.nodes.len()];
+        for (&id, &v) in self.inputs.iter().zip(inputs) {
+            value[id.index()] = v;
+        }
+        for id in self.topo_order().expect("cyclic SOP network") {
+            if let SopNode::Logic { fanins, cover, .. } = self.node(id) {
+                let vals: Vec<bool> = fanins.iter().map(|f| value[f.index()]).collect();
+                value[id.index()] = cover.eval(&vals);
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_net() -> SopNetwork {
+        let mut net = SopNetwork::new("xor");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let cover = SopCover {
+            cubes: vec![
+                Cube(vec![Some(true), Some(false)]),
+                Cube(vec![Some(false), Some(true)]),
+            ],
+            complemented: false,
+        };
+        let x = net.add_logic("x", vec![a, b], cover).unwrap();
+        net.add_output(x);
+        net
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let net = xor_net();
+        let x = net.find("x").unwrap();
+        for (a, b, want) in [
+            (false, false, false),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            let vals = net.eval(&[a, b]);
+            assert_eq!(vals[x.index()], want, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn complemented_cover() {
+        // OFF-set cover of NOR: output 0 when any input is 1.
+        let mut net = SopNetwork::new("nor");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let cover = SopCover {
+            cubes: vec![
+                Cube(vec![Some(true), None]),
+                Cube(vec![None, Some(true)]),
+            ],
+            complemented: true,
+        };
+        let g = net.add_logic("g", vec![a, b], cover).unwrap();
+        net.add_output(g);
+        let vals = net.eval(&[false, false]);
+        assert!(vals[g.index()]);
+        let vals = net.eval(&[true, false]);
+        assert!(!vals[g.index()]);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(SopCover::constant_one().eval(&[]));
+        assert!(!SopCover::constant_zero().eval(&[]));
+        assert!(SopCover::constant_one().is_constant());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut net = SopNetwork::new("d");
+        net.add_input("a").unwrap();
+        assert!(matches!(
+            net.add_input("a"),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut net = SopNetwork::new("d");
+        let a = net.add_input("a").unwrap();
+        let bad = SopCover {
+            cubes: vec![Cube(vec![Some(true), Some(true)])],
+            complemented: false,
+        };
+        assert!(matches!(
+            net.add_logic("g", vec![a], bad),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cube_display() {
+        let c = Cube(vec![Some(true), None, Some(false)]);
+        assert_eq!(c.to_string(), "1-0");
+    }
+
+    #[test]
+    fn topo_order_of_chain() {
+        let mut net = SopNetwork::new("c");
+        let a = net.add_input("a").unwrap();
+        let inv = SopCover {
+            cubes: vec![Cube(vec![Some(false)])],
+            complemented: false,
+        };
+        let g1 = net.add_logic("g1", vec![a], inv.clone()).unwrap();
+        let g2 = net.add_logic("g2", vec![g1], inv).unwrap();
+        net.add_output(g2);
+        let order = net.topo_order().unwrap();
+        let pos = |id: SopNodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(g1));
+        assert!(pos(g1) < pos(g2));
+    }
+}

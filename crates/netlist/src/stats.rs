@@ -1,0 +1,117 @@
+//! Summary statistics used by reports and the Table 2 reproduction.
+
+use crate::{Levels, Network, Rail};
+
+/// Aggregate statistics of a mapped network.
+///
+/// Produced by [`Network::stats`]; the low-voltage counts feed the paper's
+/// Table 2 profile columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Live gate instances, including level converters.
+    pub gates: usize,
+    /// Live gate instances, excluding level converters.
+    pub logic_gates: usize,
+    /// Inserted level converters.
+    pub converters: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Fanin edges over live gates.
+    pub edges: usize,
+    /// Logic depth in gate levels.
+    pub depth: u32,
+    /// Gates on the low rail (converters excluded — they are high by
+    /// construction).
+    pub low_gates: usize,
+    /// `low_gates / logic_gates` (0 when the network has no gates).
+    pub low_ratio: f64,
+    /// Maximum gate fanout.
+    pub max_fanout: usize,
+}
+
+impl Network {
+    /// Computes summary statistics over the live nodes.
+    pub fn stats(&self) -> NetworkStats {
+        let gates = self.gate_count();
+        let converters = self.converter_count();
+        let logic_gates = gates - converters;
+        let low_gates = self
+            .gate_ids()
+            .filter(|&g| !self.node(g).is_converter() && self.node(g).rail() == Rail::Low)
+            .count();
+        let max_fanout = self
+            .node_ids()
+            .map(|id| self.fanouts(id).len())
+            .max()
+            .unwrap_or(0);
+        NetworkStats {
+            gates,
+            logic_gates,
+            converters,
+            inputs: self.primary_input_count(),
+            outputs: self.primary_outputs().len(),
+            edges: self.edge_count(),
+            depth: Levels::of(self).depth(),
+            low_gates,
+            low_ratio: if logic_gates == 0 {
+                0.0
+            } else {
+                low_gates as f64 / logic_gates as f64
+            },
+            max_fanout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellRef;
+
+    #[test]
+    fn stats_of_small_net() {
+        let mut net = Network::new("s");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate("g1", CellRef(0), &[a, b]);
+        let g2 = net.add_gate("g2", CellRef(1), &[g1]);
+        net.add_output("o", g2);
+        net.set_rail(g2, Rail::Low);
+        let s = net.stats();
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.logic_gates, 2);
+        assert_eq!(s.low_gates, 1);
+        assert!((s.low_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_fanout, 1);
+    }
+
+    #[test]
+    fn converters_not_counted_as_low() {
+        let mut net = Network::new("s");
+        let a = net.add_input("a");
+        let g1 = net.add_gate("g1", CellRef(0), &[a]);
+        let g2 = net.add_gate("g2", CellRef(0), &[g1]);
+        net.add_output("o", g2);
+        net.set_rail(g1, Rail::Low);
+        net.insert_converter(g1, &[g2], false, CellRef(5)).unwrap();
+        let s = net.stats();
+        assert_eq!(s.converters, 1);
+        assert_eq!(s.logic_gates, 2);
+        assert_eq!(s.low_gates, 1);
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Network::new("e");
+        let s = net.stats();
+        assert_eq!(s.gates, 0);
+        assert_eq!(s.low_ratio, 0.0);
+        assert_eq!(s.depth, 0);
+    }
+}

@@ -1,0 +1,182 @@
+use crate::{Network, NetlistError, NodeId};
+
+/// Logic levels of a network: the length (in gates) of the longest path from
+/// any primary input to each node.
+///
+/// Level 0 is assigned to primary inputs; a gate's level is one more than the
+/// maximum level of its fanins. The maximum over all nodes is the logic
+/// depth of the block.
+#[derive(Debug, Clone)]
+pub struct Levels {
+    level: Vec<u32>,
+    depth: u32,
+}
+
+impl Levels {
+    /// Computes logic levels for all live nodes.
+    pub fn of(net: &Network) -> Self {
+        let order = net.topo_order();
+        let mut level = vec![0u32; net.node_count()];
+        let mut depth = 0;
+        for &id in &order {
+            let l = net
+                .fanins(id)
+                .iter()
+                .map(|f| level[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[id.index()] = l;
+            depth = depth.max(l);
+        }
+        Levels { level, depth }
+    }
+
+    /// Level of a node.
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Maximum level over all nodes (logic depth of the block).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+impl Network {
+    /// Returns the live nodes in topological order (fanins before fanouts,
+    /// primary inputs first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains a combinational cycle; use
+    /// [`Network::try_topo_order`] to detect cycles gracefully.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        self.try_topo_order()
+            .expect("network contains a combinational cycle")
+    }
+
+    /// Returns the live nodes in topological order, or an error naming a
+    /// node on a combinational cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cycle`] if the network is cyclic.
+    pub fn try_topo_order(&self) -> Result<Vec<NodeId>, NetlistError> {
+        let n = self.node_count();
+        let mut indeg = vec![0u32; n];
+        let mut live = vec![false; n];
+        let mut total_live = 0usize;
+        for id in self.node_ids() {
+            live[id.index()] = true;
+            total_live += 1;
+            indeg[id.index()] = self.fanins(id).len() as u32;
+        }
+        // Kahn's algorithm; the queue is processed FIFO so primary inputs
+        // come first and the order is deterministic for a given network.
+        let mut queue: Vec<NodeId> = self
+            .node_ids()
+            .filter(|id| indeg[id.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(total_live);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &fo in self.fanouts(id) {
+                if !live[fo.index()] {
+                    continue;
+                }
+                indeg[fo.index()] -= 1;
+                if indeg[fo.index()] == 0 {
+                    queue.push(fo);
+                }
+            }
+        }
+        if order.len() != total_live {
+            let culprit = self
+                .node_ids()
+                .find(|id| indeg[id.index()] > 0)
+                .expect("cycle implies an unprocessed node");
+            return Err(NetlistError::Cycle {
+                node: self.node(culprit).name().to_owned(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Returns the live nodes in reverse topological order (fanouts before
+    /// fanins), convenient for required-time propagation and the CVS
+    /// output-to-input traversal.
+    pub fn reverse_topo_order(&self) -> Vec<NodeId> {
+        let mut order = self.topo_order();
+        order.reverse();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellRef;
+
+    fn chain(n: usize) -> Network {
+        let mut net = Network::new("chain");
+        let mut prev = net.add_input("i");
+        for k in 0..n {
+            prev = net.add_gate(format!("g{k}"), CellRef(0), &[prev]);
+        }
+        net.add_output("o", prev);
+        net
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let net = chain(5);
+        let order = net.topo_order();
+        assert_eq!(order.len(), 6);
+        let mut pos = vec![0usize; net.node_count()];
+        for (ix, id) in order.iter().enumerate() {
+            pos[id.index()] = ix;
+        }
+        for id in net.node_ids() {
+            for &f in net.fanins(id) {
+                assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_topo_is_reversed() {
+        let net = chain(3);
+        let mut fwd = net.topo_order();
+        fwd.reverse();
+        assert_eq!(fwd, net.reverse_topo_order());
+    }
+
+    #[test]
+    fn levels_of_chain_equal_depth() {
+        let net = chain(4);
+        let levels = Levels::of(&net);
+        assert_eq!(levels.depth(), 4);
+        let last = net.find("g3").unwrap();
+        assert_eq!(levels.level(last), 4);
+        let input = net.find("i").unwrap();
+        assert_eq!(levels.level(input), 0);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let mut net = Network::new("d");
+        let a = net.add_input("a");
+        let l = net.add_gate("l", CellRef(0), &[a]);
+        let r = net.add_gate("r", CellRef(0), &[a]);
+        let r2 = net.add_gate("r2", CellRef(0), &[r]);
+        let top = net.add_gate("top", CellRef(1), &[l, r2]);
+        net.add_output("o", top);
+        let levels = Levels::of(&net);
+        assert_eq!(levels.level(top), 3);
+        assert_eq!(levels.level(l), 1);
+        assert_eq!(levels.depth(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Structural validation of mapped networks.
+
+use crate::{NetlistError, Network};
+
+/// Supplies the expected pin count of a cell, letting the netlist crate
+/// validate gate arities without depending on the library crate.
+///
+/// `dvs-celllib`'s `Library` implements this; tests can use a closure.
+pub trait ArityOracle {
+    /// Expected number of input pins of `cell`, or `None` if the reference
+    /// is unknown to the library.
+    fn arity_of(&self, cell: crate::CellRef) -> Option<usize>;
+}
+
+impl<F> ArityOracle for F
+where
+    F: Fn(crate::CellRef) -> Option<usize>,
+{
+    fn arity_of(&self, cell: crate::CellRef) -> Option<usize> {
+        self(cell)
+    }
+}
+
+impl Network {
+    /// Checks structural sanity: acyclicity, live fanin references,
+    /// consistent fanin/fanout mirrors, resolvable primary outputs and — if
+    /// an oracle is supplied — gate arities.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found as a [`NetlistError`].
+    pub fn validate(&self, oracle: Option<&dyn ArityOracle>) -> Result<(), NetlistError> {
+        self.try_topo_order()?;
+        for id in self.node_ids() {
+            let node = self.node(id);
+            for &f in node.fanins() {
+                if f.index() >= self.node_count() || self.node(f).is_dead() {
+                    return Err(NetlistError::DanglingFanin {
+                        node: node.name().to_owned(),
+                        fanin: f.index() as u32,
+                    });
+                }
+                if !self.fanouts(f).contains(&id) {
+                    return Err(NetlistError::InvalidOperation {
+                        message: format!(
+                            "fanout list of `{}` is missing sink `{}`",
+                            self.node(f).name(),
+                            node.name()
+                        ),
+                    });
+                }
+            }
+            for &fo in self.fanouts(id) {
+                if self.node(fo).is_dead() || !self.fanins(fo).contains(&id) {
+                    return Err(NetlistError::InvalidOperation {
+                        message: format!(
+                            "fanout list of `{}` has stale sink `{}`",
+                            node.name(),
+                            self.node(fo).name()
+                        ),
+                    });
+                }
+            }
+            if let Some(oracle) = oracle {
+                if node.is_gate() {
+                    match oracle.arity_of(node.cell()) {
+                        Some(expected) if expected != node.fanins().len() => {
+                            return Err(NetlistError::ArityMismatch {
+                                node: node.name().to_owned(),
+                                found: node.fanins().len(),
+                                expected,
+                            });
+                        }
+                        None => {
+                            return Err(NetlistError::InvalidOperation {
+                                message: format!(
+                                    "gate `{}` references unknown cell {:?}",
+                                    node.name(),
+                                    node.cell()
+                                ),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for (name, driver) in self.primary_outputs() {
+            if driver.index() >= self.node_count() || self.node(*driver).is_dead() {
+                return Err(NetlistError::DanglingOutput {
+                    output: name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellRef;
+
+    #[test]
+    fn valid_network_passes() {
+        let mut net = Network::new("v");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", CellRef(0), &[a]);
+        net.add_output("o", g);
+        assert!(net.validate(None).is_ok());
+    }
+
+    #[test]
+    fn arity_oracle_catches_mismatch() {
+        let mut net = Network::new("v");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", CellRef(0), &[a]);
+        net.add_output("o", g);
+        let oracle = |_c: CellRef| Some(2usize);
+        let err = net.validate(Some(&oracle)).unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let mut net = Network::new("v");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", CellRef(7), &[a]);
+        net.add_output("o", g);
+        let oracle = |_c: CellRef| None;
+        assert!(net.validate(Some(&oracle)).is_err());
+    }
+
+    #[test]
+    fn dead_output_driver_rejected() {
+        let mut net = Network::new("v");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", CellRef(0), &[a]);
+        let conv = net.insert_converter(g, &[], true, CellRef(1)).unwrap();
+        net.add_output("o", conv);
+        net.remove_converter(conv).unwrap();
+        // output was rewired back to g during removal, so still valid
+        assert!(net.validate(None).is_ok());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests of the network substrate over random DAG shapes.
+
+use dvs_netlist::{CellRef, Network, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random network given per-gate fanin-pick seeds; acyclic by
+/// construction (fanins always come from earlier nodes).
+fn network_strategy() -> impl Strategy<Value = Network> {
+    (
+        2usize..6,
+        proptest::collection::vec((any::<u32>(), 1u8..4), 2..40),
+        1usize..5,
+    )
+        .prop_map(|(inputs, gates, outputs)| {
+            let mut net = Network::new("prop");
+            let mut pool: Vec<NodeId> = (0..inputs)
+                .map(|i| net.add_input(format!("pi{i}")))
+                .collect();
+            for (ix, (seed, arity)) in gates.iter().enumerate() {
+                let arity = (*arity as usize).min(pool.len());
+                let mut fanins = Vec::with_capacity(arity);
+                for pin in 0..arity {
+                    let pick = (*seed as usize)
+                        .wrapping_mul(31)
+                        .wrapping_add(pin * 17)
+                        % pool.len();
+                    fanins.push(pool[pick]);
+                }
+                fanins.dedup();
+                let g = net.add_gate(format!("g{ix}"), CellRef(fanins.len() as u32), &fanins);
+                pool.push(g);
+            }
+            for o in 0..outputs {
+                let d = pool[pool.len() - 1 - o % pool.len().min(3)];
+                net.add_output(format!("po{o}"), d);
+            }
+            net
+        })
+}
+
+/// DFS reachability oracle.
+fn reaches_dfs(net: &Network, from: NodeId, to: NodeId) -> bool {
+    let mut seen = vec![false; net.node_count()];
+    let mut stack = vec![from];
+    while let Some(u) = stack.pop() {
+        for &v in net.fanouts(u) {
+            if v == to {
+                return true;
+            }
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topo_order_is_a_valid_linearisation(net in network_strategy()) {
+        let order = net.topo_order();
+        prop_assert_eq!(order.len(), net.node_ids().count());
+        let mut pos = vec![usize::MAX; net.node_count()];
+        for (ix, id) in order.iter().enumerate() {
+            pos[id.index()] = ix;
+        }
+        for id in net.node_ids() {
+            for &f in net.fanins(id) {
+                prop_assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+        prop_assert!(net.validate(None).is_ok());
+    }
+
+    #[test]
+    fn reach_matrix_matches_dfs(net in network_strategy()) {
+        let m = dvs_netlist::ReachMatrix::of(&net);
+        let ids: Vec<NodeId> = net.node_ids().collect();
+        for &u in &ids {
+            for &v in &ids {
+                if u == v { continue; }
+                prop_assert_eq!(
+                    m.reaches(u, v),
+                    reaches_dfs(&net, u, v),
+                    "disagree on {} -> {}", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converter_insert_remove_round_trips(
+        net in network_strategy(),
+        pick in any::<u32>(),
+    ) {
+        let mut net = net;
+        // pick a gate with at least one gate fanout
+        let candidates: Vec<NodeId> = net
+            .gate_ids()
+            .filter(|&g| !net.fanouts(g).is_empty())
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let driver = candidates[pick as usize % candidates.len()];
+        let sinks: Vec<NodeId> = {
+            let mut s = net.fanouts(driver).to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        let fanins_before: Vec<Vec<NodeId>> =
+            sinks.iter().map(|&s| net.fanins(s).to_vec()).collect();
+        let edges_before = net.edge_count();
+        let conv = net
+            .insert_converter(driver, &sinks, false, CellRef(99))
+            .unwrap();
+        prop_assert!(net.validate(None).is_ok());
+        prop_assert_eq!(net.converter_count(), 1);
+        net.remove_converter(conv).unwrap();
+        prop_assert!(net.validate(None).is_ok());
+        prop_assert_eq!(net.converter_count(), 0);
+        prop_assert_eq!(net.edge_count(), edges_before);
+        for (s, before) in sinks.iter().zip(fanins_before) {
+            prop_assert_eq!(net.fanins(*s), &before[..]);
+        }
+    }
+
+    #[test]
+    fn levels_bound_path_lengths(net in network_strategy()) {
+        let levels = dvs_netlist::Levels::of(&net);
+        for id in net.node_ids() {
+            for &f in net.fanins(id) {
+                prop_assert!(levels.level(f) < levels.level(id));
+            }
+        }
+        let max = net.node_ids().map(|id| levels.level(id)).max().unwrap_or(0);
+        prop_assert_eq!(max, levels.depth());
+    }
+}

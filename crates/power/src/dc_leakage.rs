@@ -1,0 +1,140 @@
+//! Driving-incompatibility DC leakage.
+//!
+//! When a low-Vdd gate drives a high-Vdd gate directly, its logic-1 output
+//! (`V_low`) cannot fully switch off the PMOS network of the sink, leaving a
+//! static current path from the high rail to ground. The paper's remedy is
+//! level restoration at every crossing (or the CVS clustering that avoids
+//! crossings altogether); this module quantifies the penalty so that tests
+//! and audits can demonstrate *why* unrestored crossings are never worth it.
+//!
+//! The current model is first-order: the offending PMOS conducts in
+//! proportion to how far the sink's effective gate overdrive
+//! `V_high − V_low` exceeds the threshold, for the fraction of time the
+//! driver output sits at logic 1.
+
+use dvs_celllib::Library;
+use dvs_netlist::{Network, NodeId, Rail};
+
+use crate::Activities;
+
+/// One unrestored low→high crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossing {
+    /// The low-Vdd driver.
+    pub driver: NodeId,
+    /// The high-Vdd sink reading a degraded level.
+    pub sink: NodeId,
+}
+
+/// Finds every low-Vdd gate that directly drives a high-Vdd gate.
+///
+/// A well-formed dual-Vdd design has none (converters are high-Vdd gates, so
+/// a restored crossing disappears from this list).
+pub fn crossings(net: &Network) -> Vec<Crossing> {
+    let mut out = Vec::new();
+    for driver in net.gate_ids() {
+        if net.node(driver).rail() != Rail::Low {
+            continue;
+        }
+        for &sink in net.fanouts(driver) {
+            let s = net.node(sink);
+            // Converters are built to accept degraded levels — that is
+            // their purpose — so a low→converter edge is not a violation.
+            if s.is_gate() && s.rail() == Rail::High && !s.is_converter() {
+                out.push(Crossing { driver, sink });
+            }
+        }
+    }
+    out
+}
+
+/// Estimated DC leakage power of all unrestored crossings, µW.
+///
+/// Uses a quadratic-overdrive PMOS subthreshold-to-linear blend:
+/// `P ≈ k · Vh · (Vh − Vl − Vt_p)₊² · P(driver = 1)` per crossing, with
+/// `k = 120 µA/V²` and `Vt_p = 0.8 V` matching the library's process. The
+/// absolute value is first-order only; its *magnitude* (tens of µW per
+/// crossing at 5 V/4.3 V... 0 when `Vh − Vl < Vt_p`) is what justifies level
+/// restoration.
+pub fn dc_leakage_uw(net: &Network, lib: &Library, acts: &Activities) -> f64 {
+    let vh = lib.rail_voltage(Rail::High);
+    let vl = lib.rail_voltage(Rail::Low);
+    let vt_p = lib.alpha_model().vt;
+    let k_ua_per_v2 = 120.0;
+    let overdrive = (vh - vl - vt_p).max(0.0);
+    // Sub-threshold residue so the penalty is never exactly zero: a
+    // degraded level always costs some static current.
+    let per_crossing_ua = k_ua_per_v2 * overdrive * overdrive + 0.05 * (vh - vl);
+    crossings(net)
+        .iter()
+        .map(|c| acts.one_prob(c.driver) * per_crossing_ua * vh)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use dvs_celllib::{compass, VoltagePair};
+
+    fn fixture(vpair: VoltagePair) -> (Network, Library, NodeId, NodeId) {
+        let lib = compass::compass_library(vpair);
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("x");
+        let a = net.add_input("a");
+        let g1 = net.add_gate("g1", inv, &[a]);
+        let g2 = net.add_gate("g2", inv, &[g1]);
+        net.add_output("y", g2);
+        (net, lib, g1, g2)
+    }
+
+    use dvs_celllib::Library;
+
+    #[test]
+    fn clean_network_has_no_crossings() {
+        let (net, lib, _, _) = fixture(VoltagePair::default());
+        assert!(crossings(&net).is_empty());
+        let acts = simulate(&net, &lib, 512, 1);
+        assert_eq!(dc_leakage_uw(&net, &lib, &acts), 0.0);
+    }
+
+    #[test]
+    fn unrestored_crossing_detected_and_costly() {
+        let (mut net, lib, g1, g2) = fixture(VoltagePair::default());
+        net.set_rail(g1, Rail::Low);
+        let found = crossings(&net);
+        assert_eq!(found, vec![Crossing { driver: g1, sink: g2 }]);
+        let acts = simulate(&net, &lib, 2048, 1);
+        assert!(dc_leakage_uw(&net, &lib, &acts) > 0.0);
+    }
+
+    #[test]
+    fn restoration_removes_the_penalty() {
+        let (mut net, lib, g1, g2) = fixture(VoltagePair::default());
+        net.set_rail(g1, Rail::Low);
+        net.insert_converter(g1, &[g2], false, lib.converter()).unwrap();
+        assert!(crossings(&net).is_empty());
+    }
+
+    #[test]
+    fn wider_voltage_gap_leaks_more() {
+        let (mut net_a, lib_a, g1a, _) = fixture(VoltagePair::new(5.0, 4.3));
+        net_a.set_rail(g1a, Rail::Low);
+        let acts_a = simulate(&net_a, &lib_a, 2048, 1);
+        let mild = dc_leakage_uw(&net_a, &lib_a, &acts_a);
+
+        let (mut net_b, lib_b, g1b, _) = fixture(VoltagePair::new(5.0, 3.0));
+        net_b.set_rail(g1b, Rail::Low);
+        let acts_b = simulate(&net_b, &lib_b, 2048, 1);
+        let harsh = dc_leakage_uw(&net_b, &lib_b, &acts_b);
+        assert!(harsh > mild);
+    }
+
+    #[test]
+    fn low_to_low_is_fine() {
+        let (mut net, _lib, g1, g2) = fixture(VoltagePair::default());
+        net.set_rail(g1, Rail::Low);
+        net.set_rail(g2, Rail::Low);
+        assert!(crossings(&net).is_empty());
+    }
+}

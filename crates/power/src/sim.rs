@@ -1,0 +1,304 @@
+//! Bit-parallel random-vector logic simulation.
+
+use dvs_celllib::Library;
+use dvs_netlist::{Network, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-net signal statistics from random simulation.
+///
+/// Indexed by [`NodeId::index`]; sized for the network it was computed on,
+/// so re-simulate after structural edits (converter insertion changes the
+/// node count — the estimator asserts on size mismatches rather than
+/// silently reading stale data).
+#[derive(Debug, Clone)]
+pub struct Activities {
+    vectors: usize,
+    p_one: Vec<f64>,
+    sw01: Vec<f64>,
+}
+
+impl Activities {
+    /// Number of random vectors simulated.
+    pub fn vectors(&self) -> usize {
+        self.vectors
+    }
+
+    /// Probability that the node's output is logic 1.
+    pub fn one_prob(&self, node: NodeId) -> f64 {
+        self.p_one[node.index()]
+    }
+
+    /// Average number of 0→1 transitions per clock cycle at the node's
+    /// output — the `a01` factor of the paper's Eq. (1).
+    pub fn switching(&self, node: NodeId) -> f64 {
+        self.sw01[node.index()]
+    }
+
+    /// Number of node slots covered (for size checks by consumers).
+    pub fn len(&self) -> usize {
+        self.sw01.len()
+    }
+
+    /// Returns `true` if no node statistics are present.
+    pub fn is_empty(&self) -> bool {
+        self.sw01.is_empty()
+    }
+}
+
+/// Simulates `vectors` random input vectors (equiprobable 0/1 per input)
+/// and returns per-net activities.
+///
+/// Deterministic for a given `(network, vectors, seed)` triple.
+///
+/// # Panics
+///
+/// Panics if `vectors < 2` (transition counting needs at least two) or if
+/// the network contains a combinational cycle.
+pub fn simulate(net: &Network, lib: &Library, vectors: usize, seed: u64) -> Activities {
+    let probs = vec![0.5; net.primary_input_count()];
+    simulate_with_probs(net, lib, vectors, seed, &probs)
+}
+
+/// Like [`simulate`] but with an explicit probability of logic 1 for each
+/// primary input (in [`Network::primary_inputs`] order) — useful for
+/// datapath blocks whose control inputs are strongly biased.
+///
+/// # Panics
+///
+/// Panics if `probs.len()` differs from the primary-input count, if any
+/// probability is outside `[0, 1]`, or if `vectors < 2`.
+pub fn simulate_with_probs(
+    net: &Network,
+    lib: &Library,
+    vectors: usize,
+    seed: u64,
+    probs: &[f64],
+) -> Activities {
+    assert!(vectors >= 2, "need at least two vectors, got {vectors}");
+    assert_eq!(
+        probs.len(),
+        net.primary_input_count(),
+        "one probability per primary input"
+    );
+    assert!(
+        probs.iter().all(|p| (0.0..=1.0).contains(p)),
+        "probabilities must lie in [0, 1]"
+    );
+    let words = vectors.div_ceil(64);
+    let n = net.node_count();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Lay the waveforms out node-major: waveform of node i occupies
+    // values[i*words .. (i+1)*words].
+    let mut values = vec![0u64; n * words];
+    for (pi_ix, &pi) in net.primary_inputs().iter().enumerate() {
+        let p = probs[pi_ix];
+        let base = pi.index() * words;
+        for w in 0..words {
+            let word = if (p - 0.5).abs() < f64::EPSILON {
+                rng.gen::<u64>()
+            } else {
+                let mut acc = 0u64;
+                for b in 0..64 {
+                    if rng.gen::<f64>() < p {
+                        acc |= 1 << b;
+                    }
+                }
+                acc
+            };
+            values[base + w] = word;
+        }
+    }
+
+    let order = net.topo_order();
+    let mut pin_buf: Vec<u64> = Vec::with_capacity(8);
+    for &id in &order {
+        let node = net.node(id);
+        if !node.is_gate() {
+            continue;
+        }
+        let func = lib.cell(node.cell()).function();
+        let fanins: Vec<usize> = node.fanins().iter().map(|f| f.index() * words).collect();
+        for w in 0..words {
+            pin_buf.clear();
+            for &base in &fanins {
+                pin_buf.push(values[base + w]);
+            }
+            values[id.index() * words + w] = func.eval_words(&pin_buf);
+        }
+    }
+
+    // Mask for the last partially used word.
+    let tail_bits = vectors - (words - 1) * 64;
+    let tail_mask = if tail_bits == 64 {
+        !0u64
+    } else {
+        (1u64 << tail_bits) - 1
+    };
+
+    let mut p_one = vec![0.0; n];
+    let mut sw01 = vec![0.0; n];
+    for id in net.node_ids() {
+        let base = id.index() * words;
+        let mut ones = 0u64;
+        let mut transitions = 0u64;
+        let mut prev_last: Option<bool> = None;
+        for w in 0..words {
+            let mask = if w + 1 == words { tail_mask } else { !0u64 };
+            let v = values[base + w] & mask;
+            let used = if w + 1 == words { tail_bits } else { 64 };
+            ones += v.count_ones() as u64;
+            // within-word 0→1 transitions between vector b and b+1
+            let pairs = (!v & (v >> 1)) & if used == 64 { !0 >> 1 } else { (1u64 << (used - 1)) - 1 };
+            transitions += pairs.count_ones() as u64;
+            // across the word boundary
+            if let Some(last) = prev_last {
+                if !last && v & 1 == 1 {
+                    transitions += 1;
+                }
+            }
+            prev_last = Some(v >> (used - 1) & 1 == 1);
+        }
+        p_one[id.index()] = ones as f64 / vectors as f64;
+        sw01[id.index()] = transitions as f64 / (vectors - 1) as f64;
+    }
+
+    Activities {
+        vectors,
+        p_one,
+        sw01,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_celllib::{compass, VoltagePair};
+
+    fn lib() -> Library {
+        compass::compass_library(VoltagePair::default())
+    }
+
+    #[test]
+    fn input_probability_near_half() {
+        let lib = lib();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", lib.find("INV").unwrap(), &[a]);
+        net.add_output("y", g);
+        let acts = simulate(&net, &lib, 4096, 1);
+        assert!((acts.one_prob(a) - 0.5).abs() < 0.05);
+        // INV output probability is the complement
+        assert!((acts.one_prob(g) - (1.0 - acts.one_prob(a))).abs() < 1e-12);
+        assert_eq!(acts.vectors(), 4096);
+        assert!(!acts.is_empty());
+    }
+
+    #[test]
+    fn random_stream_switching_near_quarter() {
+        // For an i.i.d. 0.5 stream, P(0 then 1) = 1/4 per cycle.
+        let lib = lib();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", lib.find("BUF").unwrap(), &[a]);
+        net.add_output("y", g);
+        let acts = simulate(&net, &lib, 16384, 9);
+        assert!((acts.switching(a) - 0.25).abs() < 0.02, "{}", acts.switching(a));
+        assert!((acts.switching(g) - acts.switching(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_gate_one_prob_near_quarter() {
+        let lib = lib();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate("g", lib.find("AND2").unwrap(), &[a, b]);
+        net.add_output("y", g);
+        let acts = simulate(&net, &lib, 16384, 3);
+        assert!((acts.one_prob(g) - 0.25).abs() < 0.02);
+        // AND2: P(0→1) = P(prev != 11) * P(next = 11) = 3/4 * 1/4 under iid
+        assert!((acts.switching(g) - 0.1875).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let lib = lib();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate("g", lib.find("XOR2").unwrap(), &[a, b]);
+        net.add_output("y", g);
+        let a1 = simulate(&net, &lib, 512, 42);
+        let a2 = simulate(&net, &lib, 512, 42);
+        for id in net.node_ids() {
+            assert_eq!(a1.switching(id), a2.switching(id));
+            assert_eq!(a1.one_prob(id), a2.one_prob(id));
+        }
+        let a3 = simulate(&net, &lib, 512, 43);
+        assert!(net.node_ids().any(|id| a1.switching(id) != a3.switching(id)));
+    }
+
+    #[test]
+    fn biased_inputs_respected() {
+        let lib = lib();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", lib.find("BUF").unwrap(), &[a]);
+        net.add_output("y", g);
+        let acts = simulate_with_probs(&net, &lib, 8192, 5, &[0.9]);
+        assert!(acts.one_prob(a) > 0.85);
+        // switching P(0→1) = 0.1 * 0.9 = 0.09
+        assert!((acts.switching(g) - 0.09).abs() < 0.02);
+    }
+
+    #[test]
+    fn non_multiple_of_64_vector_counts() {
+        let lib = lib();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", lib.find("INV").unwrap(), &[a]);
+        net.add_output("y", g);
+        for vectors in [2, 63, 64, 65, 100, 129] {
+            let acts = simulate(&net, &lib, vectors, 11);
+            assert!(acts.one_prob(a) >= 0.0 && acts.one_prob(a) <= 1.0);
+            assert!(acts.switching(g) >= 0.0 && acts.switching(g) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn constant_zero_prob_input() {
+        let lib = lib();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", lib.find("BUF").unwrap(), &[a]);
+        net.add_output("y", g);
+        let acts = simulate_with_probs(&net, &lib, 1024, 5, &[0.0]);
+        assert_eq!(acts.one_prob(g), 0.0);
+        assert_eq!(acts.switching(g), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vectors")]
+    fn rejects_tiny_vector_count() {
+        let lib = lib();
+        let mut net = Network::new("p");
+        let _ = net.add_input("a");
+        simulate(&net, &lib, 1, 0);
+    }
+
+    #[test]
+    fn converter_inherits_driver_activity() {
+        let lib = lib();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", lib.find("INV").unwrap(), &[a]);
+        let s = net.add_gate("s", lib.find("INV").unwrap(), &[g]);
+        net.add_output("y", s);
+        let conv = net.insert_converter(g, &[s], false, lib.converter()).unwrap();
+        let acts = simulate(&net, &lib, 2048, 17);
+        assert_eq!(acts.switching(conv), acts.switching(g));
+        assert_eq!(acts.one_prob(conv), acts.one_prob(g));
+    }
+}

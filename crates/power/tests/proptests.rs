@@ -1,0 +1,125 @@
+//! Property tests of the simulator and estimator.
+
+use dvs_celllib::{compass, Library, VoltagePair};
+use dvs_netlist::{Network, NodeId, Rail};
+use dvs_power::{estimate, simulate, simulate_with_probs};
+use proptest::prelude::*;
+
+fn lib() -> Library {
+    compass::compass_library(VoltagePair::default())
+}
+
+fn network_strategy() -> impl Strategy<Value = Network> {
+    (
+        2usize..5,
+        proptest::collection::vec((any::<u32>(), 0u8..5), 2..25),
+        1usize..4,
+    )
+        .prop_map(|(inputs, gates, outputs)| {
+            let lib = lib();
+            let one_pin = [lib.find("INV").unwrap(), lib.find("BUF").unwrap()];
+            let two_pin = [
+                lib.find("NAND2").unwrap(),
+                lib.find("NOR2").unwrap(),
+                lib.find("XOR2").unwrap(),
+                lib.find("AND2").unwrap(),
+                lib.find("OR2").unwrap(),
+            ];
+            let mut net = Network::new("prop");
+            let mut pool: Vec<NodeId> = (0..inputs)
+                .map(|i| net.add_input(format!("pi{i}")))
+                .collect();
+            for (ix, (seed, kind)) in gates.iter().enumerate() {
+                let s = *seed as usize;
+                let a = pool[s % pool.len()];
+                let b = pool[s / 5 % pool.len()];
+                let g = if *kind == 0 || a == b {
+                    net.add_gate(format!("g{ix}"), one_pin[s / 3 % 2], &[a])
+                } else {
+                    net.add_gate(format!("g{ix}"), two_pin[s / 3 % 5], &[a, b])
+                };
+                pool.push(g);
+            }
+            for o in 0..outputs {
+                let d = pool[pool.len() - 1 - o % 2.min(pool.len())];
+                net.add_output(format!("po{o}"), d);
+            }
+            net
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn activities_are_probabilities(net in network_strategy(), seed in any::<u64>()) {
+        let lib = lib();
+        let acts = simulate(&net, &lib, 512, seed);
+        for id in net.node_ids() {
+            let p = acts.one_prob(id);
+            let a = acts.switching(id);
+            prop_assert!((0.0..=1.0).contains(&p), "p_one {p}");
+            prop_assert!((0.0..=1.0).contains(&a), "a01 {a}");
+            // a 0→1 transition needs a 0 before and a 1 after: the rate is
+            // bounded by both min(p, 1-p) rates up to sampling noise
+            prop_assert!(a <= p.min(1.0 - p) + 0.1, "a01 {a} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn constant_inputs_freeze_the_network(net in network_strategy()) {
+        let lib = lib();
+        let probs = vec![1.0; net.primary_input_count()];
+        let acts = simulate_with_probs(&net, &lib, 256, 3, &probs);
+        for id in net.node_ids() {
+            prop_assert_eq!(acts.switching(id), 0.0, "node {} toggles", id);
+        }
+        let p = estimate(&net, &lib, &acts, 20.0);
+        prop_assert!(p.switching_uw == 0.0);
+        // leakage remains
+        prop_assert!(p.total_uw >= 0.0);
+    }
+
+    #[test]
+    fn demoting_everything_scales_gate_power_by_energy_ratio(
+        net in network_strategy(),
+    ) {
+        let lib = lib();
+        let acts = simulate(&net, &lib, 512, 9);
+        let before = estimate(&net, &lib, &acts, 20.0);
+        let mut low = net.clone();
+        let gates: Vec<NodeId> = low.gate_ids().collect();
+        for g in gates {
+            low.set_rail(g, Rail::Low);
+        }
+        let after = estimate(&low, &lib, &acts, 20.0);
+        let ratio = lib.voltages().energy_ratio();
+        prop_assert!(
+            (after.switching_uw - before.switching_uw * ratio).abs() < 1e-9,
+            "{} vs {} * {}", after.switching_uw, before.switching_uw, ratio
+        );
+    }
+
+    #[test]
+    fn estimator_is_linear_in_frequency(net in network_strategy()) {
+        let lib = lib();
+        let acts = simulate(&net, &lib, 256, 5);
+        let p1 = estimate(&net, &lib, &acts, 10.0);
+        let p3 = estimate(&net, &lib, &acts, 30.0);
+        prop_assert!((p3.switching_uw - 3.0 * p1.switching_uw).abs() < 1e-9);
+        prop_assert!((p3.input_net_uw - 3.0 * p1.input_net_uw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeds_change_noise_not_structure(net in network_strategy()) {
+        let lib = lib();
+        let a = simulate(&net, &lib, 4096, 1);
+        let b = simulate(&net, &lib, 4096, 2);
+        for id in net.node_ids() {
+            // different vector streams, same circuit: activities agree to
+            // within sampling noise
+            prop_assert!((a.switching(id) - b.switching(id)).abs() < 0.12,
+                "activity unstable at {}", id);
+        }
+    }
+}

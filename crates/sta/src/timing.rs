@@ -1,0 +1,438 @@
+use std::collections::BinaryHeap;
+
+use dvs_celllib::Library;
+use dvs_netlist::{Network, NodeId};
+
+use crate::load::{load_pf, po_sink_counts};
+
+/// Tolerance below which timing values are considered unchanged during
+/// incremental propagation.
+const EPS: f64 = 1e-12;
+
+/// Arrival/required/slack view of a network under a timing constraint.
+///
+/// Built by [`Timing::analyze`] in `O(n + e)`; kept consistent under gate
+/// attribute changes by [`Timing::apply_gate_change`] (worklist propagation
+/// touching only the affected cones) and under structural edits by
+/// [`Timing::rebuild`].
+#[derive(Debug, Clone)]
+pub struct Timing {
+    tspec_ns: f64,
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    delay: Vec<f64>,
+    load: Vec<f64>,
+    po_sinks: Vec<u32>,
+    topo: Vec<NodeId>,
+    topo_pos: Vec<u32>,
+}
+
+impl Timing {
+    /// Runs a full static timing analysis of `net` against the required
+    /// time `tspec_ns` at every primary output.
+    pub fn analyze(net: &Network, lib: &Library, tspec_ns: f64) -> Self {
+        let mut t = Timing {
+            tspec_ns,
+            arrival: Vec::new(),
+            required: Vec::new(),
+            delay: Vec::new(),
+            load: Vec::new(),
+            po_sinks: Vec::new(),
+            topo: Vec::new(),
+            topo_pos: Vec::new(),
+        };
+        t.rebuild(net, lib);
+        t
+    }
+
+    /// Recomputes everything from scratch — required after structural edits
+    /// (level-converter insertion/removal) which invalidate the cached
+    /// topological order.
+    pub fn rebuild(&mut self, net: &Network, lib: &Library) {
+        let n = net.node_count();
+        self.topo = net.topo_order();
+        self.topo_pos = vec![0; n];
+        for (ix, &id) in self.topo.iter().enumerate() {
+            self.topo_pos[id.index()] = ix as u32;
+        }
+        self.po_sinks = po_sink_counts(net);
+        self.arrival = vec![0.0; n];
+        self.required = vec![f64::INFINITY; n];
+        self.delay = vec![0.0; n];
+        self.load = vec![0.0; n];
+        for &id in &self.topo {
+            self.load[id.index()] = load_pf(net, lib, id, &self.po_sinks);
+            self.delay[id.index()] = gate_delay(net, lib, id, self.load[id.index()]);
+        }
+        for &id in &self.topo {
+            self.arrival[id.index()] = self.compute_arrival(net, id);
+        }
+        for &id in self.topo.iter().rev() {
+            self.required[id.index()] = self.compute_required(net, id);
+        }
+    }
+
+    fn compute_arrival(&self, net: &Network, id: NodeId) -> f64 {
+        let base = net
+            .fanins(id)
+            .iter()
+            .map(|f| self.arrival[f.index()])
+            .fold(0.0f64, f64::max);
+        base + self.delay[id.index()]
+    }
+
+    fn compute_required(&self, net: &Network, id: NodeId) -> f64 {
+        let mut req = if self.po_sinks[id.index()] > 0 || net.fanouts(id).is_empty() {
+            self.tspec_ns
+        } else {
+            f64::INFINITY
+        };
+        for &fo in net.fanouts(id) {
+            req = req.min(self.required[fo.index()] - self.delay[fo.index()]);
+        }
+        req
+    }
+
+    /// The timing constraint, ns.
+    pub fn tspec_ns(&self) -> f64 {
+        self.tspec_ns
+    }
+
+    /// Signal arrival time at the output of `node`, ns.
+    pub fn arrival_ns(&self, node: NodeId) -> f64 {
+        self.arrival[node.index()]
+    }
+
+    /// Required time at the output of `node`, ns.
+    pub fn required_ns(&self, node: NodeId) -> f64 {
+        self.required[node.index()]
+    }
+
+    /// Timing slack of `node`, ns (negative means a violation through it).
+    pub fn slack_ns(&self, node: NodeId) -> f64 {
+        self.required[node.index()] - self.arrival[node.index()]
+    }
+
+    /// Current pin-to-pin delay of `node`, ns (0 for primary inputs).
+    pub fn delay_ns(&self, node: NodeId) -> f64 {
+        self.delay[node.index()]
+    }
+
+    /// Capacitive load currently seen by `node`'s output, pF.
+    pub fn load_pf(&self, node: NodeId) -> f64 {
+        self.load[node.index()]
+    }
+
+    /// Latest arrival over all primary outputs — the achieved delay of the
+    /// block.
+    pub fn critical_delay_ns(&self, net: &Network) -> f64 {
+        net.primary_outputs()
+            .iter()
+            .map(|(_, d)| self.arrival[d.index()])
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Returns `true` if every primary output meets the constraint within
+    /// `eps` ns.
+    pub fn meets_constraint(&self, eps: f64) -> bool {
+        self.worst_po_slack() >= -eps
+    }
+
+    /// Minimum slack over the primary outputs, ns.
+    pub fn worst_po_slack(&self) -> f64 {
+        // PO slack equals tspec − arrival at the driver; required at a
+        // driver may be tighter than tspec because of other fanouts, so use
+        // the constraint directly.
+        self.po_sinks
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(ix, _)| self.tspec_ns - self.arrival[ix])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Required time at `node` considering only the sinks selected by
+    /// `keep_sink` (and the PO constraint when `include_po` is set).
+    ///
+    /// `Dscale` uses this to split a candidate's timing budget between the
+    /// fanouts that stay on the high rail (which will see an extra level
+    /// converter) and those that do not.
+    pub fn required_via<F>(&self, net: &Network, node: NodeId, include_po: bool, keep_sink: F) -> f64
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        let mut req = if include_po && self.po_sinks[node.index()] > 0 {
+            self.tspec_ns
+        } else {
+            f64::INFINITY
+        };
+        for &fo in net.fanouts(node) {
+            if keep_sink(fo) {
+                req = req.min(self.required[fo.index()] - self.delay[fo.index()]);
+            }
+        }
+        req
+    }
+
+    /// Re-derives load and delay of `changed` and of its fanins (whose
+    /// loads may have moved if `changed`'s input capacitance changed), then
+    /// propagates arrival times downstream and required times upstream
+    /// until quiescence.
+    ///
+    /// Call after flipping a gate's rail ([`Network::set_rail`]) or size
+    /// ([`Network::set_size`]). For structural edits use
+    /// [`Timing::rebuild`].
+    pub fn apply_gate_change(&mut self, net: &Network, lib: &Library, changed: NodeId) {
+        let mut touched = vec![changed];
+        touched.extend_from_slice(net.fanins(changed));
+        let mut delay_moved = Vec::new();
+        for &id in &touched {
+            let new_load = load_pf(net, lib, id, &self.po_sinks);
+            let new_delay = gate_delay(net, lib, id, new_load);
+            if (new_delay - self.delay[id.index()]).abs() > EPS
+                || (new_load - self.load[id.index()]).abs() > EPS
+            {
+                self.load[id.index()] = new_load;
+                self.delay[id.index()] = new_delay;
+                delay_moved.push(id);
+            }
+        }
+        self.propagate_forward(net, delay_moved.iter().copied());
+        // Required times of the moved gates' fanins depend on the moved
+        // delays; seed the backward pass with those fanins plus the moved
+        // nodes themselves (whose own required may change via fanouts —
+        // unchanged here, but re-checking is cheap and keeps this correct
+        // when callers batch changes).
+        let mut seeds = Vec::new();
+        for &id in &delay_moved {
+            seeds.push(id);
+            seeds.extend_from_slice(net.fanins(id));
+        }
+        self.propagate_backward(net, seeds.into_iter());
+    }
+
+    fn propagate_forward(&mut self, net: &Network, seeds: impl Iterator<Item = NodeId>) {
+        // min-heap on topological position (BinaryHeap is a max-heap, so
+        // store negated positions)
+        let mut heap: BinaryHeap<(i64, NodeId)> = BinaryHeap::new();
+        let mut queued = vec![false; net.node_count()];
+        for s in seeds {
+            if !queued[s.index()] {
+                queued[s.index()] = true;
+                heap.push((-(self.topo_pos[s.index()] as i64), s));
+            }
+        }
+        while let Some((_, id)) = heap.pop() {
+            queued[id.index()] = false;
+            let fresh = self.compute_arrival(net, id);
+            if (fresh - self.arrival[id.index()]).abs() > EPS {
+                self.arrival[id.index()] = fresh;
+                for &fo in net.fanouts(id) {
+                    if !queued[fo.index()] {
+                        queued[fo.index()] = true;
+                        heap.push((-(self.topo_pos[fo.index()] as i64), fo));
+                    }
+                }
+            }
+        }
+    }
+
+    fn propagate_backward(&mut self, net: &Network, seeds: impl Iterator<Item = NodeId>) {
+        let mut heap: BinaryHeap<(i64, NodeId)> = BinaryHeap::new();
+        let mut queued = vec![false; net.node_count()];
+        for s in seeds {
+            if !queued[s.index()] {
+                queued[s.index()] = true;
+                heap.push((self.topo_pos[s.index()] as i64, s));
+            }
+        }
+        while let Some((_, id)) = heap.pop() {
+            queued[id.index()] = false;
+            let fresh = self.compute_required(net, id);
+            if (fresh - self.required[id.index()]).abs() > EPS {
+                self.required[id.index()] = fresh;
+                for &fi in net.fanins(id) {
+                    if !queued[fi.index()] {
+                        queued[fi.index()] = true;
+                        heap.push((self.topo_pos[fi.index()] as i64, fi));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn gate_delay(net: &Network, lib: &Library, id: NodeId, load: f64) -> f64 {
+    let node = net.node(id);
+    if node.is_gate() {
+        lib.delay_ns(node.cell(), node.size(), node.rail(), load)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_celllib::{compass, VoltagePair};
+    use dvs_netlist::{Network, Rail, SizeIx};
+
+    fn lib() -> Library {
+        compass::compass_library(VoltagePair::default())
+    }
+
+    /// inv chain of length `n` with an output tap after every stage
+    fn chain(lib: &Library, n: usize) -> (Network, Vec<NodeId>) {
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("chain");
+        let mut prev = net.add_input("a");
+        let mut gates = Vec::new();
+        for k in 0..n {
+            prev = net.add_gate(format!("g{k}"), inv, &[prev]);
+            gates.push(prev);
+        }
+        net.add_output("y", prev);
+        (net, gates)
+    }
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let lib = lib();
+        let (net, gates) = chain(&lib, 4);
+        let t = Timing::analyze(&net, &lib, 100.0);
+        for w in gates.windows(2) {
+            assert!(t.arrival_ns(w[1]) > t.arrival_ns(w[0]));
+        }
+        assert!(t.meets_constraint(0.0));
+        assert!(t.critical_delay_ns(&net) > 0.0);
+    }
+
+    #[test]
+    fn slack_is_required_minus_arrival() {
+        let lib = lib();
+        let (net, gates) = chain(&lib, 3);
+        let t = Timing::analyze(&net, &lib, 5.0);
+        for &g in &gates {
+            assert!((t.slack_ns(g) - (t.required_ns(g) - t.arrival_ns(g))).abs() < 1e-12);
+        }
+        // on a pure chain every gate has the same slack
+        let s0 = t.slack_ns(gates[0]);
+        for &g in &gates {
+            assert!((t.slack_ns(g) - s0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn violation_detected() {
+        let lib = lib();
+        let (net, _) = chain(&lib, 10);
+        let t = Timing::analyze(&net, &lib, 0.01);
+        assert!(!t.meets_constraint(1e-9));
+        assert!(t.worst_po_slack() < 0.0);
+    }
+
+    #[test]
+    fn incremental_rail_change_matches_full() {
+        let lib = lib();
+        let (mut net, gates) = chain(&lib, 6);
+        let mut t = Timing::analyze(&net, &lib, 100.0);
+        net.set_rail(gates[2], Rail::Low);
+        t.apply_gate_change(&net, &lib, gates[2]);
+        let fresh = Timing::analyze(&net, &lib, 100.0);
+        for id in net.node_ids() {
+            assert!((t.arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-9, "{id}");
+            assert!(
+                (t.required_ns(id) - fresh.required_ns(id)).abs() < 1e-9,
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_size_change_matches_full() {
+        let lib = lib();
+        let nand2 = lib.find("NAND2").unwrap();
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("d");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate("g1", nand2, &[a, b]);
+        let g2 = net.add_gate("g2", inv, &[g1]);
+        let g3 = net.add_gate("g3", nand2, &[g1, g2]);
+        net.add_output("y", g3);
+        let mut t = Timing::analyze(&net, &lib, 100.0);
+        // upsizing g3 loads g1 and g2 (its fanins) and speeds itself
+        net.set_size(g3, SizeIx(2));
+        t.apply_gate_change(&net, &lib, g3);
+        let fresh = Timing::analyze(&net, &lib, 100.0);
+        for id in net.node_ids() {
+            assert!((t.arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-9);
+            assert!((t.required_ns(id) - fresh.required_ns(id)).abs() < 1e-9);
+            assert!((t.load_pf(id) - fresh.load_pf(id)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn low_rail_slows_the_block() {
+        let lib = lib();
+        let (mut net, gates) = chain(&lib, 5);
+        let before = Timing::analyze(&net, &lib, 100.0).critical_delay_ns(&net);
+        for &g in &gates {
+            net.set_rail(g, Rail::Low);
+        }
+        let after = Timing::analyze(&net, &lib, 100.0).critical_delay_ns(&net);
+        assert!(after > before);
+        let ratio = after / before;
+        let derate = lib.derate(Rail::Low);
+        assert!((ratio - derate).abs() < 1e-6, "ratio {ratio} vs {derate}");
+    }
+
+    #[test]
+    fn required_via_splits_sinks() {
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let nand2 = lib.find("NAND2").unwrap();
+        let mut net = Network::new("s");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", inv, &[a]);
+        let fast = net.add_gate("fast", inv, &[g]);
+        let slow1 = net.add_gate("slow1", nand2, &[g, a]);
+        let slow2 = net.add_gate("slow2", inv, &[slow1]);
+        net.add_output("f", fast);
+        net.add_output("s", slow2);
+        let t = Timing::analyze(&net, &lib, 3.0);
+        let via_fast = t.required_via(&net, g, false, |s| s == fast);
+        let via_slow = t.required_via(&net, g, false, |s| s == slow1);
+        assert!(via_slow < via_fast, "deeper branch is tighter");
+        let all = t.required_via(&net, g, false, |_| true);
+        assert!((all - t.required_ns(g)).abs() < 1e-12);
+        let none = t.required_via(&net, g, false, |_| false);
+        assert!(none.is_infinite());
+    }
+
+    #[test]
+    fn rebuild_after_converter_insertion() {
+        let lib = lib();
+        let (mut net, gates) = chain(&lib, 3);
+        let mut t = Timing::analyze(&net, &lib, 100.0);
+        let before = t.critical_delay_ns(&net);
+        net.set_rail(gates[0], Rail::Low);
+        net.insert_converter(gates[0], &[gates[1]], false, lib.converter())
+            .unwrap();
+        t.rebuild(&net, &lib);
+        let after = t.critical_delay_ns(&net);
+        assert!(after > before, "converter adds delay: {before} -> {after}");
+        let fresh = Timing::analyze(&net, &lib, 100.0);
+        assert!((after - fresh.critical_delay_ns(&net)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn po_driver_required_uses_tspec() {
+        let lib = lib();
+        let (net, gates) = chain(&lib, 2);
+        let t = Timing::analyze(&net, &lib, 7.5);
+        let last = *gates.last().unwrap();
+        assert!(t.required_ns(last) <= 7.5 + 1e-12);
+        assert_eq!(t.tspec_ns(), 7.5);
+    }
+}

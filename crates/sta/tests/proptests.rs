@@ -1,0 +1,171 @@
+//! Property tests of the timing engine against brute-force references.
+
+use dvs_celllib::{compass, Library, VoltagePair};
+use dvs_netlist::{Network, NodeId, Rail, SizeIx};
+use dvs_sta::{k_worst_paths, load_pf, po_sink_counts, Timing};
+use proptest::prelude::*;
+
+fn lib() -> Library {
+    compass::compass_library(VoltagePair::default())
+}
+
+/// Random mapped network over real cells; acyclic by construction.
+fn network_strategy() -> impl Strategy<Value = Network> {
+    (
+        2usize..5,
+        proptest::collection::vec((any::<u32>(), 0u8..4), 2..30),
+        1usize..4,
+    )
+        .prop_map(|(inputs, gates, outputs)| {
+            let lib = lib();
+            let cells1 = [lib.find("INV").unwrap(), lib.find("BUF").unwrap()];
+            let cells2 = [
+                lib.find("NAND2").unwrap(),
+                lib.find("NOR2").unwrap(),
+                lib.find("XOR2").unwrap(),
+            ];
+            let mut net = Network::new("prop");
+            let mut pool: Vec<NodeId> = (0..inputs)
+                .map(|i| net.add_input(format!("pi{i}")))
+                .collect();
+            for (ix, (seed, kind)) in gates.iter().enumerate() {
+                let s = *seed as usize;
+                let a = pool[s % pool.len()];
+                let b = pool[s / 7 % pool.len()];
+                let g = if *kind == 0 || a == b {
+                    net.add_gate(format!("g{ix}"), cells1[s / 3 % 2], &[a])
+                } else {
+                    net.add_gate(format!("g{ix}"), cells2[s / 3 % 3], &[a, b])
+                };
+                pool.push(g);
+            }
+            for o in 0..outputs {
+                let d = pool[pool.len() - 1 - o % 3.min(pool.len())];
+                net.add_output(format!("po{o}"), d);
+            }
+            net
+        })
+}
+
+/// Brute-force arrival: longest path by exhaustive memo-free recursion.
+fn brute_arrival(net: &Network, lib: &Library, id: NodeId, delays: &[f64]) -> f64 {
+    let base = net
+        .fanins(id)
+        .iter()
+        .map(|&f| brute_arrival(net, lib, f, delays))
+        .fold(0.0f64, f64::max);
+    base + delays[id.index()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arrival_equals_longest_path(net in network_strategy()) {
+        let lib = lib();
+        let t = Timing::analyze(&net, &lib, 10.0);
+        // collect the engine's per-node delays, then recompute arrivals
+        // with plain recursion
+        let delays: Vec<f64> = (0..net.node_count())
+            .map(|ix| t.delay_ns(NodeId::from_index(ix)))
+            .collect();
+        for id in net.node_ids() {
+            let want = brute_arrival(&net, &lib, id, &delays);
+            prop_assert!((t.arrival_ns(id) - want).abs() < 1e-9,
+                "arrival mismatch at {}: {} vs {}", id, t.arrival_ns(id), want);
+        }
+    }
+
+    #[test]
+    fn slack_decomposition_holds(net in network_strategy()) {
+        let lib = lib();
+        let t = Timing::analyze(&net, &lib, 5.0);
+        for id in net.node_ids() {
+            // slack = required − arrival by definition
+            prop_assert!((t.slack_ns(id) - (t.required_ns(id) - t.arrival_ns(id))).abs() < 1e-12);
+            // required times never exceed the constraint on PO paths
+            if net.drives_output(id) {
+                prop_assert!(t.required_ns(id) <= 5.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn loads_are_consistent_with_the_library(net in network_strategy()) {
+        let lib = lib();
+        let t = Timing::analyze(&net, &lib, 5.0);
+        let po = po_sink_counts(&net);
+        for id in net.node_ids() {
+            prop_assert!((t.load_pf(id) - load_pf(&net, &lib, id, &po)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_after_mixed_mutations(
+        net in network_strategy(),
+        muts in proptest::collection::vec((any::<u32>(), any::<bool>()), 1..10),
+    ) {
+        let lib = lib();
+        let mut net = net;
+        let mut t = Timing::analyze(&net, &lib, 8.0);
+        let gates: Vec<NodeId> = net.gate_ids().collect();
+        prop_assume!(!gates.is_empty());
+        for (pick, rail_or_size) in muts {
+            let g = gates[pick as usize % gates.len()];
+            if rail_or_size {
+                let new = if net.node(g).rail() == Rail::High { Rail::Low } else { Rail::High };
+                net.set_rail(g, new);
+            } else {
+                let max = lib.cell(net.node(g).cell()).sizes().len() - 1;
+                let next = (net.node(g).size().index() + 1) % (max + 1);
+                net.set_size(g, SizeIx(next as u8));
+            }
+            t.apply_gate_change(&net, &lib, g);
+        }
+        let fresh = Timing::analyze(&net, &lib, 8.0);
+        for id in net.node_ids() {
+            prop_assert!((t.arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-9);
+            prop_assert!((t.required_ns(id) - fresh.required_ns(id)).abs() < 1e-9);
+            prop_assert!((t.load_pf(id) - fresh.load_pf(id)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_path_enumeration_is_sound(net in network_strategy()) {
+        let lib = lib();
+        let t = Timing::analyze(&net, &lib, 10.0);
+        let paths = k_worst_paths(&net, &t, 5);
+        prop_assume!(!paths.is_empty());
+        // sorted, worst first, and the worst equals the critical delay
+        prop_assert!((paths[0].delay_ns - t.critical_delay_ns(&net)).abs() < 1e-9);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].delay_ns >= w[1].delay_ns - 1e-9);
+        }
+        // each path is structurally connected and its delay adds up
+        for p in &paths {
+            let mut sum = 0.0;
+            for pair in p.nodes.windows(2) {
+                prop_assert!(net.fanouts(pair[0]).contains(&pair[1]));
+            }
+            for &n in &p.nodes {
+                sum += t.delay_ns(n);
+            }
+            prop_assert!((sum - p.delay_ns).abs() < 1e-9, "delay sum mismatch");
+        }
+    }
+
+    #[test]
+    fn low_rail_never_speeds_anything_up(net in network_strategy()) {
+        let lib = lib();
+        let before = Timing::analyze(&net, &lib, 10.0);
+        let mut low = net.clone();
+        let gates: Vec<NodeId> = low.gate_ids().collect();
+        for g in gates {
+            low.set_rail(g, Rail::Low);
+        }
+        let after = Timing::analyze(&low, &lib, 10.0);
+        for id in net.node_ids() {
+            prop_assert!(after.arrival_ns(id) >= before.arrival_ns(id) - 1e-12);
+        }
+    }
+}

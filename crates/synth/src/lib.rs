@@ -1,0 +1,49 @@
+//! # dvs-synth
+//!
+//! The SIS stand-in: everything the paper does *before* running its
+//! voltage-scaling algorithms.
+//!
+//! The original flow optimises each MCNC circuit with `script.rugged`, maps
+//! it onto the COMPASS library with `map -n1 -AFG` at zero required time
+//! (minimum delay, any area), loosens the constraint by 20 %, remaps so the
+//! mapper trades the slack for area, and hands the result — with the mapped
+//! delay as the timing constraint — to `CVS`/`Dscale`/`Gscale`.
+//!
+//! This crate reproduces that pipeline on our substrate:
+//!
+//! * [`map_sop`] — technology mapping of a BLIF-derived
+//!   [`SopNetwork`](dvs_netlist::SopNetwork) onto
+//!   the `dvs-celllib` cell set (NAND/NOR/AOI-style decomposition);
+//! * [`size_for_min_delay`] — TILOS-style greedy sizing to minimum delay
+//!   (the `map -n1 -AFG` stand-in);
+//! * [`recover_area`] — slack-driven down-sizing against a relaxed
+//!   constraint (the re-map at 120 % stand-in);
+//! * [`prepare`] — the full recipe, returning the network plus the timing
+//!   constraint exactly as the paper defines it ("the delay of the mapped
+//!   circuit ... 20 % greater than the minimum delay");
+//! * [`mcnc`] — deterministic generators for the 39 benchmark-circuit
+//!   profiles of the paper's Tables 1–2 (the real netlists are not
+//!   redistributable; see DESIGN.md for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use dvs_celllib::{compass, VoltagePair};
+//! use dvs_synth::{mcnc, prepare};
+//!
+//! let lib = compass::compass_library(VoltagePair::default());
+//! let net = mcnc::generate("b9", &lib).expect("b9 is a known profile");
+//! let prepared = prepare(net, &lib, 1.2);
+//! assert!(prepared.tspec_ns >= prepared.tmin_ns);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod map;
+pub mod mcnc;
+mod sizing;
+
+pub use map::map_sop;
+pub use sizing::{electrical_correction, prepare, recover_area, size_for_min_delay, total_area, Prepared};
+

@@ -1,0 +1,40 @@
+//! MCNC benchmark stand-ins: the 39 circuit profiles of the paper's
+//! evaluation and their deterministic structural generators.
+//!
+//! The real MCNC netlists are not redistributable; DESIGN.md §2 documents
+//! why these generators preserve the behaviour the experiments measure.
+//! If you have the originals, parse them with [`dvs_netlist::blif`] and map
+//! them with [`crate::map_sop`] instead — the rest of the flow is
+//! identical.
+//!
+//! # Example
+//!
+//! ```
+//! use dvs_celllib::{compass, VoltagePair};
+//! use dvs_synth::mcnc;
+//!
+//! let lib = compass::compass_library(VoltagePair::default());
+//! let net = mcnc::generate("pcle", &lib).expect("known circuit");
+//! assert_eq!(net.name(), "pcle");
+//! assert_eq!(net.primary_outputs().len(), 9);
+//! ```
+
+mod gen;
+mod profiles;
+
+pub use profiles::{averages, find, PaperRef, Profile, Style, PROFILES};
+
+use dvs_celllib::Library;
+use dvs_netlist::Network;
+
+/// Generates the stand-in network for the named benchmark circuit, or
+/// `None` if the name is not one of the paper's 39 circuits.
+pub fn generate(name: &str, lib: &Library) -> Option<Network> {
+    profiles::find(name).map(|p| gen::build(p, lib))
+}
+
+/// Generates the stand-in network for a profile (useful when iterating
+/// [`PROFILES`]).
+pub fn generate_profile(profile: &Profile, lib: &Library) -> Network {
+    gen::build(profile, lib)
+}

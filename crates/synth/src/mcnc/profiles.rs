@@ -1,0 +1,278 @@
+//! The 39 MCNC benchmark-circuit profiles of the paper's evaluation.
+//!
+//! The real netlists are not redistributable, so each profile records the
+//! published shape of the circuit — gate count after mapping (Table 2),
+//! primary input/output counts of the well-known originals — plus a
+//! structural [`Style`] chosen to reproduce the circuit's qualitative
+//! behaviour class in the paper (see DESIGN.md §2). Every published number
+//! from Tables 1 and 2 is kept alongside as [`PaperRef`] so the
+//! reproduction binaries can print paper-vs-measured columns.
+
+/// Structural family of a generated benchmark stand-in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Style {
+    /// Balanced XOR/parity lattice with shared sub-trees: uniform output
+    /// depths (CVS finds nothing) but internal fanout ≥ 2 (Gscale's sizing
+    /// pays off). C1355/C499-class.
+    ParityLattice,
+    /// Ripple-carry arithmetic with per-bit sum outputs: one long carry
+    /// spine, progressively shallower side outputs.
+    CarryChain,
+    /// AND/OR reduction cones with fanout 1 everywhere: no slack, and
+    /// up-sizing never pays — the class where nothing helps (i2, i3).
+    ReductionCone {
+        /// Reduction arity (2 or 3).
+        arity: u8,
+    },
+    /// Balanced 2:1 multiplexer tree: single output, uniform depth, but
+    /// heavily shared select lines that sizing can exploit.
+    MuxTree,
+    /// One deep fanout-1 critical spine plus a wide shallow "cloud" with
+    /// abundant slack: CVS saturates immediately and neither Dscale nor
+    /// Gscale can add anything (pcle-class).
+    SpineCloud,
+    /// Layered multi-cone random control logic.
+    Random {
+        /// Fraction of output cones pinned at maximal depth; high values
+        /// starve CVS of primary-output slack.
+        uniformity: f64,
+    },
+}
+
+/// Published per-circuit numbers from Tables 1 and 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRef {
+    /// Table 1 `OrgPwr`, µW.
+    pub org_pwr_uw: f64,
+    /// Table 1 improvement of CVS over the original power, %.
+    pub cvs_pct: f64,
+    /// Table 1 improvement of Dscale, %.
+    pub dscale_pct: f64,
+    /// Table 1 improvement of Gscale, %.
+    pub gscale_pct: f64,
+    /// Table 1 CPU seconds of Gscale (SUN Ultra SPARC, 64 MB, 1999).
+    pub cpu_s: f64,
+    /// Table 2 low-voltage gate count after CVS.
+    pub low_cvs: usize,
+    /// Table 2 low-voltage gate count after Dscale.
+    pub low_dscale: usize,
+    /// Table 2 low-voltage gate count after Gscale.
+    pub low_gscale: usize,
+    /// Table 2 number of gates resized by Gscale.
+    pub sized: usize,
+    /// Table 2 fractional area increase of Gscale.
+    pub area_inc: f64,
+}
+
+/// One benchmark profile: the published shape plus our structural stand-in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Circuit name as it appears in the paper.
+    pub name: &'static str,
+    /// Mapped gate count from Table 2 (generator target).
+    pub gates: usize,
+    /// Primary inputs of the original circuit.
+    pub inputs: usize,
+    /// Primary outputs of the original circuit.
+    pub outputs: usize,
+    /// Structural family of the stand-in.
+    pub style: Style,
+    /// Published reference numbers.
+    pub paper: PaperRef,
+}
+
+macro_rules! profiles {
+    ($($name:literal, $gates:literal, $pis:literal, $pos:literal, $style:expr,
+       [$org:literal, $cvs:literal, $dsc:literal, $gsc:literal, $cpu:literal],
+       [$lc:literal, $ld:literal, $lg:literal, $sz:literal, $ai:literal]);* $(;)?) => {
+        &[$(Profile {
+            name: $name,
+            gates: $gates,
+            inputs: $pis,
+            outputs: $pos,
+            style: $style,
+            paper: PaperRef {
+                org_pwr_uw: $org,
+                cvs_pct: $cvs,
+                dscale_pct: $dsc,
+                gscale_pct: $gsc,
+                cpu_s: $cpu,
+                low_cvs: $lc,
+                low_dscale: $ld,
+                low_gscale: $lg,
+                sized: $sz,
+                area_inc: $ai,
+            },
+        }),*]
+    };
+}
+
+/// All 39 profiles, in the paper's table order.
+pub const PROFILES: &[Profile] = profiles![
+    "C1355", 390, 41, 32, Style::ParityLattice,
+        [321.88, 0.00, 1.98, 21.41, 7.02], [0, 27, 286, 58, 0.01];
+    "C2670", 583, 233, 140, Style::Random { uniformity: 0.38 },
+        [447.58, 14.62, 18.27, 22.56, 20.03], [280, 340, 487, 6, 0.00];
+    "C3540", 996, 50, 22, Style::Random { uniformity: 0.90 },
+        [657.90, 2.12, 2.73, 13.63, 27.04], [68, 95, 532, 9, 0.00];
+    "C432", 159, 36, 7, Style::ParityLattice,
+        [108.66, 0.00, 4.20, 13.83, 1.01], [0, 29, 70, 9, 0.01];
+    "C499", 390, 41, 32, Style::ParityLattice,
+        [326.32, 0.00, 1.77, 15.78, 6.02], [0, 35, 214, 56, 0.01];
+    "C5315", 1318, 178, 123, Style::Random { uniformity: 0.60 },
+        [1089.07, 9.42, 12.25, 23.75, 84.08], [503, 620, 1193, 23, 0.00];
+    "C7552", 1957, 207, 108, Style::Random { uniformity: 0.62 },
+        [1615.53, 9.08, 11.46, 18.96, 130.12], [545, 740, 1281, 82, 0.01];
+    "C880", 295, 60, 26, Style::Random { uniformity: 0.26 },
+        [228.49, 17.02, 17.94, 19.09, 4.01], [163, 187, 188, 7, 0.01];
+    "alu2", 291, 10, 6, Style::Random { uniformity: 0.73 },
+        [144.87, 6.33, 8.15, 16.74, 3.01], [53, 75, 166, 17, 0.01];
+    "alu4", 573, 14, 8, Style::Random { uniformity: 0.76 },
+        [245.74, 5.45, 6.95, 17.74, 13.03], [104, 139, 404, 31, 0.02];
+    "apex6", 664, 135, 99, Style::Random { uniformity: 0.20 },
+        [346.72, 18.02, 20.15, 24.70, 22.03], [477, 557, 620, 4, 0.00];
+    "apex7", 217, 49, 37, Style::Random { uniformity: 0.14 },
+        [127.61, 19.53, 21.33, 21.56, 2.01], [151, 178, 172, 2, 0.01];
+    "b9", 111, 41, 21, Style::Random { uniformity: 0.44 },
+        [67.61, 12.63, 15.95, 19.72, 1.50], [56, 77, 86, 6, 0.03];
+    "dalu", 706, 75, 16, Style::Random { uniformity: 0.18 },
+        [250.21, 18.63, 18.63, 21.76, 19.03], [430, 430, 517, 12, 0.00];
+    "des", 2795, 256, 245, Style::Random { uniformity: 0.17 },
+        [1615.72, 18.78, 20.72, 22.10, 347.26], [2047, 2312, 2384, 115, 0.01];
+    "f51m", 81, 8, 8, Style::ParityLattice,
+        [69.74, 0.00, 1.80, 16.32, 1.00], [0, 6, 47, 6, 0.02];
+    "i1", 35, 25, 16, Style::Random { uniformity: 0.40 },
+        [18.54, 13.57, 15.69, 19.10, 0.70], [21, 25, 26, 2, 0.02];
+    "i10", 2121, 257, 224, Style::Random { uniformity: 0.58 },
+        [997.01, 9.28, 11.18, 20.02, 185.14], [740, 1022, 1638, 14, 0.00];
+    "i2", 102, 201, 1, Style::ReductionCone { arity: 3 },
+        [50.20, 0.00, 0.00, 0.00, 0.00], [0, 0, 0, 0, 0.00];
+    "i3", 114, 132, 6, Style::ReductionCone { arity: 3 },
+        [109.61, 0.43, 0.43, 0.43, 1.70], [6, 6, 6, 0, 0.00];
+    "i5", 199, 133, 66, Style::Random { uniformity: 0.72 },
+        [146.99, 6.36, 8.35, 13.08, 1.80], [48, 76, 99, 1, 0.00];
+    "i6", 456, 138, 67, Style::Random { uniformity: 0.86 },
+        [222.70, 3.04, 3.04, 25.74, 15.02], [48, 48, 448, 13, 0.01];
+    "k2", 880, 45, 45, Style::Random { uniformity: 0.60 },
+        [179.22, 9.22, 11.64, 24.00, 35.04], [240, 344, 807, 15, 0.01];
+    "lal", 86, 26, 19, Style::Random { uniformity: 0.10 },
+        [41.48, 20.65, 23.54, 23.86, 1.02], [61, 74, 80, 6, 0.03];
+    "mux", 60, 21, 1, Style::MuxTree,
+        [30.20, 0.00, 1.73, 17.03, 1.00], [0, 4, 33, 4, 0.04];
+    "my_adder", 179, 33, 17, Style::CarryChain,
+        [132.19, 11.80, 12.03, 13.24, 1.01], [76, 78, 84, 3, 0.02];
+    "pair", 1351, 173, 137, Style::Random { uniformity: 0.13 },
+        [926.39, 19.93, 20.86, 21.67, 74.06], [952, 973, 1042, 14, 0.00];
+    "pcle", 68, 19, 9, Style::SpineCloud,
+        [42.15, 19.58, 19.58, 19.58, 1.00], [42, 42, 42, 0, 0.00];
+    "pm1", 43, 16, 13, Style::Random { uniformity: 0.60 },
+        [14.64, 8.76, 11.17, 23.37, 1.00], [16, 23, 39, 4, 0.05];
+    "rot", 585, 135, 107, Style::Random { uniformity: 0.40 },
+        [388.74, 13.88, 18.22, 22.21, 18.02], [289, 396, 488, 2, 0.00];
+    "sct", 73, 19, 15, Style::Random { uniformity: 0.68 },
+        [40.32, 7.21, 9.01, 21.21, 0.95], [19, 25, 59, 11, 0.05];
+    "term1", 136, 34, 10, Style::Random { uniformity: 0.58 },
+        [83.40, 9.60, 12.12, 17.53, 1.00], [52, 74, 99, 13, 0.03];
+    "too_large", 253, 38, 3, Style::Random { uniformity: 0.15 },
+        [117.71, 12.48, 15.91, 23.82, 3.01], [99, 126, 227, 7, 0.00];
+    "vda", 485, 17, 39, Style::Random { uniformity: 0.39 },
+        [137.94, 14.04, 14.96, 15.62, 6.01], [168, 189, 211, 16, 0.01];
+    "x1", 260, 51, 35, Style::Random { uniformity: 0.15 },
+        [150.51, 19.60, 21.06, 25.00, 4.01], [187, 198, 246, 8, 0.01];
+    "x2", 39, 10, 7, Style::Random { uniformity: 0.72 },
+        [23.44, 6.51, 8.54, 22.74, 1.00], [10, 14, 33, 3, 0.02];
+    "x3", 625, 135, 99, Style::Random { uniformity: 0.05 },
+        [382.57, 22.99, 23.84, 25.16, 20.02], [515, 542, 593, 11, 0.00];
+    "x4", 270, 94, 71, Style::Random { uniformity: 0.13 },
+        [154.36, 20.04, 20.74, 22.42, 4.01], [213, 225, 234, 3, 0.00];
+    "z4ml", 41, 7, 4, Style::ParityLattice,
+        [30.94, 0.00, 3.71, 19.16, 0.54], [0, 6, 30, 7, 0.06];
+];
+
+/// Paper-reported averages over the 39 circuits (Table 1 bottom row and
+/// Table 2 ratios).
+pub mod averages {
+    /// Average CVS improvement, %.
+    pub const CVS_PCT: f64 = 10.27;
+    /// Average Dscale improvement, %.
+    pub const DSCALE_PCT: f64 = 12.09;
+    /// Average Gscale improvement, %.
+    pub const GSCALE_PCT: f64 = 19.12;
+    /// Average low-voltage gate ratio after CVS.
+    pub const CVS_LOW_RATIO: f64 = 0.37;
+    /// Average low-voltage gate ratio after Dscale.
+    pub const DSCALE_LOW_RATIO: f64 = 0.45;
+    /// Average low-voltage gate ratio after Gscale.
+    pub const GSCALE_LOW_RATIO: f64 = 0.70;
+}
+
+/// Looks up a profile by circuit name.
+pub fn find(name: &str) -> Option<&'static Profile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_nine_profiles() {
+        assert_eq!(PROFILES.len(), 39);
+    }
+
+    #[test]
+    fn names_unique_and_findable() {
+        for (i, p) in PROFILES.iter().enumerate() {
+            assert_eq!(find(p.name).unwrap().name, p.name);
+            for q in &PROFILES[i + 1..] {
+                assert_ne!(p.name, q.name);
+            }
+        }
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn paper_table1_averages_check_out() {
+        // the encoded per-circuit numbers must reproduce the paper's own
+        // averages — guards against transcription typos
+        let n = PROFILES.len() as f64;
+        let cvs: f64 = PROFILES.iter().map(|p| p.paper.cvs_pct).sum::<f64>() / n;
+        let dsc: f64 = PROFILES.iter().map(|p| p.paper.dscale_pct).sum::<f64>() / n;
+        let gsc: f64 = PROFILES.iter().map(|p| p.paper.gscale_pct).sum::<f64>() / n;
+        assert!((cvs - averages::CVS_PCT).abs() < 0.05, "CVS avg {cvs}");
+        assert!((dsc - averages::DSCALE_PCT).abs() < 0.05, "Dscale avg {dsc}");
+        assert!((gsc - averages::GSCALE_PCT).abs() < 0.05, "Gscale avg {gsc}");
+    }
+
+    #[test]
+    fn paper_table2_ratios_check_out() {
+        let n = PROFILES.len() as f64;
+        let r_cvs: f64 = PROFILES
+            .iter()
+            .map(|p| p.paper.low_cvs as f64 / p.gates as f64)
+            .sum::<f64>()
+            / n;
+        let r_gsc: f64 = PROFILES
+            .iter()
+            .map(|p| p.paper.low_gscale as f64 / p.gates as f64)
+            .sum::<f64>()
+            / n;
+        assert!((r_cvs - averages::CVS_LOW_RATIO).abs() < 0.02, "{r_cvs}");
+        assert!((r_gsc - averages::GSCALE_LOW_RATIO).abs() < 0.02, "{r_gsc}");
+    }
+
+    #[test]
+    fn monotone_improvements_in_paper_data() {
+        for p in PROFILES {
+            assert!(p.paper.dscale_pct >= p.paper.cvs_pct, "{}", p.name);
+            // Gscale beats Dscale except on apex7-style saturated circuits
+            // where the paper itself reports a small inversion in Table 2
+            // gate counts; Table 1 power is monotone everywhere except i3.
+            assert!(
+                p.paper.gscale_pct >= p.paper.cvs_pct - 1e-9,
+                "{}",
+                p.name
+            );
+        }
+    }
+}

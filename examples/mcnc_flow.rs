@@ -1,0 +1,101 @@
+//! The paper's full experiment on a chosen benchmark circuit: generate the
+//! MCNC stand-in, prepare it (min-delay map, 20 % relaxation, area
+//! recovery), run CVS / Dscale / Gscale, and print one row of each table
+//! next to the published values.
+//!
+//! ```text
+//! cargo run --release --example mcnc_flow            # defaults to C1355
+//! cargo run --release --example mcnc_flow -- des     # pick a circuit
+//! ```
+
+use dual_vdd::prelude::*;
+use dual_vdd::synth::mcnc;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "C1355".into());
+    let Some(profile) = mcnc::find(&name) else {
+        eprintln!("unknown circuit `{name}`; the 39 known profiles are:");
+        for p in mcnc::PROFILES {
+            eprint!(" {}", p.name);
+        }
+        eprintln!();
+        std::process::exit(1);
+    };
+
+    let lib = compass_library(VoltagePair::default());
+    let net = mcnc::generate_profile(profile, &lib);
+    println!(
+        "{name}: {} gates generated (paper mapped {}), {} PIs, {} POs",
+        net.gate_count(),
+        profile.gates,
+        net.primary_input_count(),
+        net.primary_outputs().len()
+    );
+
+    let prepared = prepare(net, &lib, 1.2);
+    println!(
+        "prepared: Tmin {:.3} ns, Tspec {:.3} ns ({:.1} % relaxation consumed)",
+        prepared.tmin_ns,
+        prepared.tspec_ns,
+        (prepared.tspec_ns / prepared.tmin_ns - 1.0) * 100.0
+    );
+
+    let run = run_circuit(&name, &prepared, &lib, &FlowConfig::default());
+    let paper = profile.paper;
+
+    println!("\nTable 1 row (measured | paper):");
+    println!("  OrgPwr  {:>8.2} uW | {:>8.2} uW", run.org_pwr_uw, paper.org_pwr_uw);
+    println!(
+        "  CVS     {:>7.2} %  | {:>7.2} %",
+        run.cvs.improvement_pct, paper.cvs_pct
+    );
+    println!(
+        "  Dscale  {:>7.2} %  | {:>7.2} %",
+        run.dscale.improvement_pct, paper.dscale_pct
+    );
+    println!(
+        "  Gscale  {:>7.2} %  | {:>7.2} %",
+        run.gscale.improvement_pct, paper.gscale_pct
+    );
+    println!(
+        "  CPU     {:>7.2} s  | {:>7.2} s (1999 SUN Ultra SPARC)",
+        run.gscale.cpu.as_secs_f64(),
+        paper.cpu_s
+    );
+
+    println!("\nTable 2 row (measured | paper):");
+    println!(
+        "  low after CVS    {:>4} ({:.2}) | {:>4} ({:.2})",
+        run.cvs.low_gates,
+        run.cvs.low_ratio,
+        paper.low_cvs,
+        paper.low_cvs as f64 / profile.gates as f64
+    );
+    println!(
+        "  low after Dscale {:>4} ({:.2}) | {:>4} ({:.2})",
+        run.dscale.low_gates,
+        run.dscale.low_ratio,
+        paper.low_dscale,
+        paper.low_dscale as f64 / profile.gates as f64
+    );
+    println!(
+        "  low after Gscale {:>4} ({:.2}) | {:>4} ({:.2})",
+        run.gscale.low_gates,
+        run.gscale.low_ratio,
+        paper.low_gscale,
+        paper.low_gscale as f64 / profile.gates as f64
+    );
+    println!(
+        "  sized gates      {:>4}        | {:>4}",
+        run.gscale.resized, paper.sized
+    );
+    println!(
+        "  area increase    {:>6.2} %    | {:>6.2} %",
+        run.gscale.area_increase * 100.0,
+        paper.area_inc * 100.0
+    );
+    println!(
+        "  converters (Dscale): {}",
+        run.dscale.converters
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a small circuit by hand, run all three dual-Vdd
+//! algorithms, and print what each one achieved.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dual_vdd::prelude::*;
+
+fn main() {
+    // The paper's library: 72 COMPASS-like cells characterised at
+    // (5.0 V, 4.3 V), with the level-restoration converter of [8, 10].
+    let lib = compass_library(VoltagePair::new(5.0, 4.3));
+
+    // A toy datapath: a 4-bit comparator tree (critical) plus a shallow
+    // status flag with plenty of timing slack.
+    let mut net = Network::new("quickstart");
+    let nand2 = lib.find("NAND2").expect("NAND2 exists");
+    let nor2 = lib.find("NOR2").expect("NOR2 exists");
+    let xor2 = lib.find("XOR2").expect("XOR2 exists");
+    let inv = lib.find("INV").expect("INV exists");
+
+    let a: Vec<_> = (0..4).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..4).map(|i| net.add_input(format!("b{i}"))).collect();
+
+    // comparator: XOR bits, reduce with a NOR/NAND tree
+    let bits: Vec<_> = (0..4)
+        .map(|i| net.add_gate(format!("x{i}"), xor2, &[a[i], b[i]]))
+        .collect();
+    let r0 = net.add_gate("r0", nor2, &[bits[0], bits[1]]);
+    let r1 = net.add_gate("r1", nor2, &[bits[2], bits[3]]);
+    let eq = net.add_gate("eq", nand2, &[r0, r1]);
+    let eq_n = net.add_gate("eq_n", inv, &[eq]);
+    net.add_output("equal", eq_n);
+
+    // shallow status flag: plenty of slack
+    let any0 = net.add_gate("any0", nand2, &[a[0], b[0]]);
+    net.add_output("busy", any0);
+
+    // Prepare exactly like the paper: minimum-delay sizing, 20 % slack
+    // granted and traded for area, the mapped delay as the constraint.
+    let prepared = prepare(net, &lib, 1.2);
+    println!(
+        "prepared: {} gates, Tmin {:.3} ns, Tspec {:.3} ns",
+        prepared.network.logic_gate_count(),
+        prepared.tmin_ns,
+        prepared.tspec_ns
+    );
+
+    let cfg = FlowConfig::default();
+    let run = run_circuit("quickstart", &prepared, &lib, &cfg);
+
+    println!("\noriginal power: {:.2} uW", run.org_pwr_uw);
+    for (name, rep) in [
+        ("CVS   ", &run.cvs),
+        ("Dscale", &run.dscale),
+        ("Gscale", &run.gscale),
+    ] {
+        println!(
+            "{name}: {:.2} uW  (-{:.2} %), {:>2} low gates ({:.0} %), {} converters, {} resized",
+            rep.power_uw,
+            rep.improvement_pct,
+            rep.low_gates,
+            rep.low_ratio * 100.0,
+            rep.converters,
+            rep.resized,
+        );
+    }
+
+    // run_circuit audits every invariant (timing, driving compatibility,
+    // area budget) before reporting, so reaching this line means the
+    // assignments above are sound.
+    println!("\nall invariants audited: ok");
+}

@@ -1,0 +1,71 @@
+//! Timing exploration on a benchmark stand-in: enumerate the K worst
+//! paths before and after `Gscale`, and dump the assignment as Graphviz
+//! DOT for visual inspection.
+//!
+//! ```text
+//! cargo run --release --example timing_explorer [circuit] [k]
+//! cargo run --release --example timing_explorer z4ml 5 > z4ml.dot
+//! ```
+//!
+//! The path report goes to stderr; stdout carries the DOT graph, so the
+//! example can be piped straight into `dot -Tsvg`.
+
+use dual_vdd::prelude::*;
+use dual_vdd::sta::k_worst_paths;
+
+fn report(tag: &str, net: &dual_vdd::netlist::Network, t: &Timing, k: usize) {
+    eprintln!("{tag}: worst {k} paths (of constraint {:.3} ns)", t.tspec_ns());
+    for (ix, p) in k_worst_paths(net, t, k).iter().enumerate() {
+        let ends = format!(
+            "{} .. {}",
+            net.node(p.nodes[0]).name(),
+            net.node(*p.nodes.last().unwrap()).name()
+        );
+        let low = p
+            .nodes
+            .iter()
+            .filter(|&&n| net.node(n).is_gate() && net.node(n).rail() == Rail::Low)
+            .count();
+        eprintln!(
+            "  #{ix}: {:.3} ns, {} nodes ({} on Vlow)  [{ends}]",
+            p.delay_ns,
+            p.nodes.len(),
+            low
+        );
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "z4ml".into());
+    let k: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let lib = compass_library(VoltagePair::default());
+    let Some(net) = generate_mcnc(&name, &lib) else {
+        eprintln!("unknown circuit `{name}`");
+        std::process::exit(1);
+    };
+    let prepared = prepare(net, &lib, 1.2);
+
+    let t0 = Timing::analyze(&prepared.network, &lib, prepared.tspec_ns);
+    report("before", &prepared.network, &t0, k);
+
+    let mut net = prepared.network.clone();
+    let cfg = FlowConfig::default();
+    let out = gscale(&mut net, &lib, prepared.tspec_ns, &cfg);
+    eprintln!(
+        "\ngscale: {} gates lowered, {} resized, area {:.1} -> {:.1}\n",
+        out.lowered.len(),
+        out.resized.len(),
+        out.area_before,
+        out.area_after
+    );
+
+    let t1 = Timing::analyze(&net, &lib, prepared.tspec_ns);
+    report("after", &net, &t1, k);
+
+    // stdout: the coloured assignment, ready for graphviz
+    print!("{}", net.to_dot());
+}

