@@ -1,0 +1,50 @@
+//! Fast pipeline guard: the full experiment driver on the smallest MCNC
+//! profile. Catches wiring regressions in generate → prepare → CVS /
+//! Dscale / Gscale → measure without the cost of `repro_table1`.
+
+use dvs_bench::{paper_config, paper_library, run_one};
+use dvs_synth::mcnc;
+
+#[test]
+fn smallest_profile_end_to_end() {
+    let lib = paper_library();
+    let cfg = paper_config();
+    let profile = mcnc::PROFILES
+        .iter()
+        .min_by_key(|p| p.gates)
+        .expect("profile table is non-empty");
+
+    // run_one -> run_circuit audits every algorithm's final network
+    // internally (valid structure, timing met, converters only in the
+    // Dscale regime) and panics on violation, so reaching the asserts
+    // below already certifies the audits passed.
+    let run = run_one(profile, &lib, &cfg);
+    assert_eq!(run.name, profile.name);
+    assert!(run.gates > 0, "prepared network has gates");
+    assert!(run.org_pwr_uw > 0.0, "original power is positive");
+
+    // No algorithm may end above the original power, and the paper's
+    // ordering must hold: Dscale and Gscale each dominate the CVS
+    // baseline they extend.
+    for (label, algo) in [("cvs", &run.cvs), ("dscale", &run.dscale), ("gscale", &run.gscale)] {
+        assert!(
+            algo.power_uw <= run.org_pwr_uw + 1e-9,
+            "{label} raised power: {} -> {}",
+            run.org_pwr_uw,
+            algo.power_uw
+        );
+        assert!(algo.improvement_pct >= -1e-9, "{label} negative improvement");
+    }
+    assert!(
+        run.dscale.improvement_pct >= run.cvs.improvement_pct - 1e-9,
+        "Dscale ({}) fell below CVS ({})",
+        run.dscale.improvement_pct,
+        run.cvs.improvement_pct
+    );
+    assert!(
+        run.gscale.improvement_pct >= run.cvs.improvement_pct - 1e-9,
+        "Gscale ({}) fell below CVS ({})",
+        run.gscale.improvement_pct,
+        run.cvs.improvement_pct
+    );
+}

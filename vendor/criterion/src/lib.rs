@@ -1,0 +1,236 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this vendored crate
+//! mirrors the API shape the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `criterion_group!`/`criterion_main!`
+//! — with a simple wall-clock measurement loop: each benchmark is warmed
+//! up once, then timed over enough iterations to fill a small measurement
+//! window, and the mean iteration time is printed. No statistics, plots
+//! or saved baselines; swap in the real crate for those.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: u32,
+    measured: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, keeping its return value alive so the optimiser
+    /// cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // one warm-up pass
+        let _ = black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let _ = black_box(routine());
+        }
+        *self.measured = Some(start.elapsed() / self.samples);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    // group-local so an override does not leak past `finish()`, matching
+    // the real crate's scoping
+    sample_size: u32,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark of this group
+    /// (compatibility knob; the stand-in uses it directly as the
+    /// iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Run `f` as one benchmark of this group.
+    pub fn bench_function<B, F>(&mut self, id: B, mut f: F) -> &mut Self
+    where
+        B: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        self.criterion.run_one(&label, samples, |b| f(b));
+        self
+    }
+
+    /// Run `f` with a borrowed input as one benchmark of this group.
+    pub fn bench_with_input<B, I, F>(&mut self, id: B, input: &I, mut f: F) -> &mut Self
+    where
+        B: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        self.criterion.run_one(&label, samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { name: name.into(), sample_size, criterion: self }
+    }
+
+    /// Run `f` as a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.to_string();
+        let samples = self.sample_size;
+        self.run_one(&label, samples, |b| f(b));
+        self
+    }
+
+    fn run_one(&mut self, label: &str, samples: u32, mut f: impl FnMut(&mut Bencher)) {
+        let mut measured = None;
+        let mut bencher = Bencher { samples, measured: &mut measured };
+        f(&mut bencher);
+        match measured {
+            Some(mean) => println!("{label:<50} {:>12.3?}/iter", mean),
+            None => println!("{label:<50} (no measurement)"),
+        }
+    }
+
+    /// Compatibility no-op (the real crate parses CLI args here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// Identity function the optimiser must assume reads its argument.
+/// Without unsafe or compiler hints this is best-effort: it routes the
+/// value through a volatile-ish read via `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &k| {
+            b.iter(|| (0..100u64).map(|x| x * k).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = work
+    );
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
