@@ -1,0 +1,208 @@
+//! `dvs-sweep` — parallel experiment sweeps over a scenario grid.
+//!
+//! Expands profiles × scale factors × config variants × generator seeds
+//! into a work queue, runs it on a worker pool and writes machine-readable
+//! results to `BENCH_sweep.json` (schema documented in `dvs-sweep`'s crate
+//! docs).
+//!
+//! ```text
+//! dvs-sweep --profiles all --scale 10 --jobs 4
+//! dvs-sweep --profiles smallest --scale 1 --jobs 2 --deterministic --out /tmp/s.json
+//! dvs-sweep --profiles des,C7552 --scale 1,10 --variants paper,tight-clock --seeds 0,1
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dvs_core::FlowConfig;
+use dvs_sweep::{default_jobs, mean, run_grid, write_results, ConfigVariant, Grid};
+use dvs_synth::mcnc::{self, Profile, PROFILES};
+
+const USAGE: &str = "dvs-sweep: parallel experiment sweeps over a scenario grid
+
+USAGE:
+    dvs-sweep [OPTIONS]
+
+OPTIONS:
+    --profiles LIST   `all`, `smallest`, or comma-separated circuit names
+                      from the paper's tables          [default: all]
+    --scale LIST      comma-separated structural scale factors (>= 1)
+                                                       [default: 1]
+    --variants LIST   `all` or comma-separated variant names: paper,
+                      tight-clock, loose-clock, lean-area, wide-area,
+                      deep-low-vdd                     [default: paper]
+    --seeds LIST      comma-separated generator seed salts
+                                                       [default: 0]
+    --jobs N          worker threads (or DVS_JOBS env var)
+                                   [default: available parallelism, min 1]
+    --vectors N       override simulation vectors per power estimate for
+                      every variant (cheapens huge sweeps)
+    --out PATH        output file                      [default: BENCH_sweep.json]
+    --deterministic   zero all wall/CPU-time fields so the document is
+                      byte-identical across runs and worker counts
+    -h, --help        print this help
+";
+
+struct Args {
+    grid: Grid,
+    jobs: usize,
+    out: PathBuf,
+    deterministic: bool,
+}
+
+fn parse_profiles(spec: &str) -> Result<Vec<&'static Profile>, String> {
+    match spec {
+        "all" => Ok(PROFILES.iter().collect()),
+        "smallest" => Ok(vec![PROFILES
+            .iter()
+            .min_by_key(|p| p.gates)
+            .expect("profiles table is non-empty")]),
+        names => names
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                mcnc::find(name).ok_or_else(|| format!("unknown circuit `{name}`"))
+            })
+            .collect(),
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(spec: &str, what: &str) -> Result<Vec<T>, String> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| format!("bad {what} `{s}`")))
+        .collect()
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut profiles: Vec<&'static Profile> = PROFILES.iter().collect();
+    let mut scales = vec![1usize];
+    let mut variants = vec![ConfigVariant::paper()];
+    let mut seeds = vec![0u64];
+    let mut jobs = default_jobs();
+    let mut vectors: Option<usize> = None;
+    let mut out = PathBuf::from("BENCH_sweep.json");
+    let mut deterministic = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--profiles" => profiles = parse_profiles(&value(&mut i, "--profiles")?)?,
+            "--scale" => {
+                scales = parse_list(&value(&mut i, "--scale")?, "scale factor")?;
+                if scales.iter().any(|&s: &usize| s == 0) {
+                    return Err("scale factors must be >= 1".into());
+                }
+            }
+            "--variants" => {
+                let spec = value(&mut i, "--variants")?;
+                variants = if spec == "all" {
+                    ConfigVariant::all()
+                } else {
+                    spec.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|name| {
+                            ConfigVariant::named(name)
+                                .ok_or_else(|| format!("unknown variant `{name}`"))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "--seeds" => seeds = parse_list(&value(&mut i, "--seeds")?, "seed")?,
+            "--jobs" => {
+                jobs = value(&mut i, "--jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("`--jobs` needs a positive integer")?;
+            }
+            "--vectors" => {
+                vectors = Some(
+                    value(&mut i, "--vectors")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 2)
+                        .ok_or("`--vectors` needs an integer >= 2")?,
+                );
+            }
+            "--out" => out = PathBuf::from(value(&mut i, "--out")?),
+            "--deterministic" => deterministic = true,
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    if let Some(n) = vectors {
+        for v in &mut variants {
+            v.config = FlowConfig {
+                sim_vectors: n,
+                ..v.config.clone()
+            };
+        }
+    }
+    if profiles.is_empty() || scales.is_empty() || variants.is_empty() || seeds.is_empty() {
+        return Err("every grid dimension needs at least one entry".into());
+    }
+    Ok(Some(Args {
+        grid: Grid {
+            profiles,
+            scales,
+            variants,
+            seeds,
+        },
+        jobs,
+        out,
+        deterministic,
+    }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dvs-sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total = args.grid.len();
+    eprintln!(
+        "dvs-sweep: {} scenario(s) ({} profile(s) x {} scale(s) x {} variant(s) x {} seed(s)) on {} worker(s)",
+        total,
+        args.grid.profiles.len(),
+        args.grid.scales.len(),
+        args.grid.variants.len(),
+        args.grid.seeds.len(),
+        args.jobs,
+    );
+    let results = run_grid(&args.grid, args.jobs, |r| {
+        eprintln!(
+            "  {:<28} {:>7} gates  cvs {:>6.2}%  dscale {:>6.2}%  gscale {:>6.2}%  ({:.2}s cpu)",
+            r.id, r.gates, r.cvs.improvement_pct, r.dscale.improvement_pct,
+            r.gscale.improvement_pct, r.cpu_s,
+        );
+    });
+    if let Err(e) = write_results(&args.out, &results, !args.deterministic) {
+        eprintln!("dvs-sweep: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} scenario(s) -> {}  (avg improvement: cvs {:.2}%, dscale {:.2}%, gscale {:.2}%)",
+        results.len(),
+        args.out.display(),
+        mean(results.iter().map(|r| r.cvs.improvement_pct)),
+        mean(results.iter().map(|r| r.dscale.improvement_pct)),
+        mean(results.iter().map(|r| r.gscale.improvement_pct)),
+    );
+    ExitCode::SUCCESS
+}

@@ -4,20 +4,23 @@
 //! comparison (absolute powers differ — synthetic library and circuit
 //! stand-ins — the *shape* is the reproduction target; see EXPERIMENTS.md).
 
-use dvs_bench::{mean, paper_config, paper_library, run_all};
+use dvs_bench::{mean, paper_config, paper_library, run_all_parallel};
+use dvs_sweep::default_jobs;
 use dvs_synth::mcnc::{averages, find};
 
 fn main() {
     let lib = paper_library();
     let cfg = paper_config();
+    let jobs = default_jobs();
 
     println!("Table 1: Improvement over the Original Power (%)");
-    println!("(measured | paper reference in brackets)");
+    println!("(measured | paper reference in brackets; {jobs} worker(s))");
     println!(
         "{:<10} {:>12} {:>16} {:>16} {:>16} {:>10}",
         "circuit", "OrgPwr(uW)", "CVS", "Dscale", "Gscale", "CPU(s)"
     );
-    let runs = run_all(&lib, &cfg, |run| {
+    let runs = run_all_parallel(&lib, &cfg, jobs);
+    for run in &runs {
         let p = find(&run.name).expect("profile exists").paper;
         println!(
             "{:<10} {:>12.2} {:>8.2} [{:>5.2}] {:>8.2} [{:>5.2}] {:>8.2} [{:>5.2}] {:>10.2}",
@@ -31,7 +34,7 @@ fn main() {
             p.gscale_pct,
             run.gscale.cpu.as_secs_f64(),
         );
-    });
+    }
 
     let avg_cvs = mean(runs.iter().map(|r| r.cvs.improvement_pct));
     let avg_dscale = mean(runs.iter().map(|r| r.dscale.improvement_pct));

@@ -3,20 +3,23 @@
 //! profile (resized gates + fractional area increase). Paper reference
 //! ratios are printed in brackets.
 
-use dvs_bench::{mean, paper_config, paper_library, run_all};
+use dvs_bench::{mean, paper_config, paper_library, run_all_parallel};
+use dvs_sweep::default_jobs;
 use dvs_synth::mcnc::{averages, find};
 
 fn main() {
     let lib = paper_library();
     let cfg = paper_config();
+    let jobs = default_jobs();
 
     println!("Table 2: Profiles");
-    println!("(measured ratio | paper reference in brackets)");
+    println!("(measured ratio | paper reference in brackets; {jobs} worker(s))");
     println!(
         "{:<10} {:>6} {:>18} {:>18} {:>18} {:>8} {:>8}",
         "circuit", "Org#", "CVS low", "Dscale low", "Gscale low", "Sized", "AreaInc"
     );
-    let runs = run_all(&lib, &cfg, |run| {
+    let runs = run_all_parallel(&lib, &cfg, jobs);
+    for run in &runs {
         let p = find(&run.name).expect("profile exists");
         let pr = p.paper;
         println!(
@@ -35,7 +38,7 @@ fn main() {
             run.gscale.resized,
             run.gscale.area_increase,
         );
-    });
+    }
 
     println!(
         "{:<10} {:>6} {:>11.2} [{:>4.2}] {:>11.2} [{:>4.2}] {:>11.2} [{:>4.2}] {:>8} {:>8.2}",

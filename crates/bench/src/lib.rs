@@ -60,15 +60,21 @@ where
         .collect()
 }
 
-/// Mean of an iterator of f64 (0 when empty).
-pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = values.collect();
-    if v.is_empty() {
-        0.0
-    } else {
-        v.iter().sum::<f64>() / v.len() as f64
-    }
+/// Runs the full 39-circuit experiment through the `dvs-sweep` worker
+/// pool, one scenario per circuit, on `jobs` workers.
+///
+/// Results come back in table order and are value-identical to
+/// [`run_all`]'s — generation and measurement are fully seeded, and the
+/// CPU columns use per-thread clocks, so parallelism changes neither the
+/// numbers nor their order (asserted by `tests/parallel_tables.rs`).
+pub fn run_all_parallel(lib: &Library, cfg: &FlowConfig, jobs: usize) -> Vec<CircuitRun> {
+    let profiles: Vec<&Profile> = PROFILES.iter().collect();
+    dvs_sweep::run_indexed(&profiles, jobs, |_, p| run_one(p, lib, cfg))
 }
+
+/// Mean of an iterator of f64 (0 when empty); the sweep engine's single
+/// averaging convention, re-exported for the table binaries.
+pub use dvs_sweep::mean;
 
 #[cfg(test)]
 mod tests {

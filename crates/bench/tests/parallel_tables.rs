@@ -1,0 +1,49 @@
+//! The parallelized Table 1/2 reproduction must be *value-identical* to
+//! the sequential baseline: same circuits, same powers, same gate counts,
+//! same ratios — only the CPU-time readings may differ between runs.
+
+use dvs_bench::{paper_config, paper_library, run_all_parallel, run_one};
+use dvs_core::{CircuitRun, FlowConfig};
+use dvs_synth::mcnc::PROFILES;
+
+/// Every Table 1/2 value except the clocks.
+fn values(r: &CircuitRun) -> impl PartialEq + std::fmt::Debug {
+    let algo = |a: &dvs_core::AlgoReport| {
+        (
+            a.power_uw,
+            a.improvement_pct,
+            a.low_gates,
+            a.low_ratio,
+            a.converters,
+            a.resized,
+            a.area_increase,
+        )
+    };
+    (
+        r.name.clone(),
+        r.gates,
+        r.tspec_ns,
+        r.org_pwr_uw,
+        algo(&r.cvs),
+        algo(&r.dscale),
+        algo(&r.gscale),
+    )
+}
+
+#[test]
+fn parallel_tables_match_sequential_tables() {
+    let lib = paper_library();
+    // trimmed vectors keep the double full-table run test-suite friendly;
+    // determinism is seed-driven, so the comparison is still exact
+    let cfg = FlowConfig {
+        sim_vectors: 256,
+        ..paper_config()
+    };
+    let sequential: Vec<CircuitRun> = PROFILES.iter().map(|p| run_one(p, &lib, &cfg)).collect();
+    let parallel = run_all_parallel(&lib, &cfg, 4);
+
+    assert_eq!(parallel.len(), sequential.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(values(s), values(p), "{} diverged under parallelism", s.name);
+    }
+}

@@ -4,7 +4,7 @@
 
 use dvs_celllib::Library;
 use dvs_flow::{max_weight_antichain, quantize};
-use dvs_netlist::{Network, NodeId, Rail, ReachMatrix};
+use dvs_netlist::{Network, NodeId, Rail, SubsetReach};
 use dvs_power::simulate;
 use dvs_sta::Timing;
 
@@ -119,14 +119,15 @@ pub fn dscale(
         }
         iterations += 1;
 
-        // Transitive conflict graph over the candidates.
-        let reach = ReachMatrix::of(net);
+        // Transitive conflict graph over the candidates. Restricted to the
+        // candidate subset so closure memory scales with the candidate
+        // count, not the (possibly 100×-scaled) network size.
+        let cand_nodes: Vec<NodeId> = cand.iter().map(|&(g, _, _)| g).collect();
+        let reach = SubsetReach::among(net, &cand_nodes);
         let mut edges = Vec::new();
         for i in 0..cand.len() {
-            for j in 0..cand.len() {
-                if i != j && reach.reaches(cand[i].0, cand[j].0) {
-                    edges.push((i, j));
-                }
+            for j in reach.reachable_from(i) {
+                edges.push((i, j));
             }
         }
         let weights: Vec<u64> = cand

@@ -47,6 +47,7 @@
 
 mod audit;
 mod config;
+mod cputime;
 mod cvs;
 mod demote;
 mod dscale;
@@ -55,6 +56,7 @@ mod report;
 
 pub use audit::{audit, AuditError};
 pub use config::FlowConfig;
+pub use cputime::{thread_cpu_time, CpuTimer};
 pub use cvs::{cvs, time_critical_boundary, CvsOutcome};
 pub use demote::{demotion_fits, DemotionPlan};
 pub use dscale::{dscale, DscaleOutcome};

@@ -2,7 +2,7 @@
 //! algorithms from the same mapped starting point, random-simulation power
 //! at 20 MHz, wall-clock CPU time.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dvs_celllib::Library;
 use dvs_netlist::{Network, Rail};
@@ -10,7 +10,7 @@ use dvs_power::{estimate, simulate};
 use dvs_sta::Timing;
 use dvs_synth::{total_area, Prepared};
 
-use crate::{audit, cvs, dscale, gscale, FlowConfig};
+use crate::{audit, cvs, dscale, gscale, CpuTimer, FlowConfig};
 
 /// Per-algorithm measurement record (one cell of Tables 1 and 2).
 #[derive(Debug, Clone)]
@@ -29,7 +29,9 @@ pub struct AlgoReport {
     pub resized: usize,
     /// Fractional area increase (Table 2 `AreaInc`).
     pub area_increase: f64,
-    /// Wall-clock run time (Table 1 `CPU` analogue).
+    /// CPU time charged to the executing thread (Table 1 `CPU` analogue).
+    /// Measured with a per-thread clock ([`CpuTimer`]) so the column stays
+    /// comparable between sequential runs and loaded worker pools.
     pub cpu: Duration,
 }
 
@@ -111,7 +113,7 @@ pub fn run_circuit(
 
     // CVS
     let mut cvs_net = prepared.network.clone();
-    let t0 = Instant::now();
+    let t0 = CpuTimer::start();
     let mut timing = Timing::analyze(&cvs_net, lib, tspec);
     let _ = cvs(&mut cvs_net, lib, &mut timing, cfg.guard_ns);
     let cvs_cpu = t0.elapsed();
@@ -120,7 +122,7 @@ pub fn run_circuit(
 
     // Dscale
     let mut d_net = prepared.network.clone();
-    let t0 = Instant::now();
+    let t0 = CpuTimer::start();
     let d_out = dscale(&mut d_net, lib, tspec, cfg);
     let d_cpu = t0.elapsed();
     audit(&d_net, lib, tspec, true).expect("Dscale broke an invariant");
@@ -137,7 +139,7 @@ pub fn run_circuit(
 
     // Gscale
     let mut g_net = prepared.network.clone();
-    let t0 = Instant::now();
+    let t0 = CpuTimer::start();
     let g_out = gscale(&mut g_net, lib, tspec, cfg);
     let g_cpu = t0.elapsed();
     audit(&g_net, lib, tspec, false).expect("Gscale broke an invariant");

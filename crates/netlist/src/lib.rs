@@ -55,7 +55,7 @@ mod validate;
 
 pub use error::NetlistError;
 pub use network::{CellRef, Network, Node, NodeId, NodeKind, Rail, SizeIx};
-pub use reach::ReachMatrix;
+pub use reach::{ReachMatrix, SubsetReach};
 pub use sop::{Cube, SopCover, SopNetwork, SopNode, SopNodeId};
 pub use stats::NetworkStats;
 pub use topo::Levels;

@@ -76,10 +76,135 @@ impl ReachMatrix {
     }
 }
 
+/// Reachability restricted to a candidate subset, for networks where the
+/// dense [`ReachMatrix`] no longer fits.
+///
+/// `Dscale` only ever asks whether one *candidate* reaches another, yet
+/// [`ReachMatrix`] pays `O(n²/64)` memory over all `n` nodes — ~10 GB for
+/// a 100×-scaled `des`. `SubsetReach` propagates `k`-bit candidate sets
+/// (`k` = candidate count) in one reverse-topological sweep and frees each
+/// node's transient row as soon as its last reader is done, so peak memory
+/// is `O(frontier·k/64)` transient plus the `O(k²/64)` answer. Time stays
+/// one OR pass per edge.
+///
+/// # Example
+///
+/// ```
+/// use dvs_netlist::{Network, CellRef, SubsetReach};
+///
+/// let mut net = Network::new("s");
+/// let a = net.add_input("a");
+/// let g1 = net.add_gate("g1", CellRef(0), &[a]);
+/// let g2 = net.add_gate("g2", CellRef(0), &[g1]);
+/// net.add_output("o", g2);
+///
+/// let reach = SubsetReach::among(&net, &[g1, g2]);
+/// assert!(reach.reaches(0, 1));            // g1 → g2
+/// assert!(!reach.reaches(1, 0));
+/// assert_eq!(reach.reachable_from(0).collect::<Vec<_>>(), vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubsetReach {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl SubsetReach {
+    /// Computes, for every node of `nodes`, the subset of `nodes` it
+    /// reaches through any directed path. Indices into `nodes` are the
+    /// coordinates of all queries.
+    pub fn among(net: &Network, nodes: &[NodeId]) -> Self {
+        let k = nodes.len();
+        let words = k.div_ceil(64).max(1);
+        let mut cand_ix: Vec<u32> = vec![u32::MAX; net.node_count()];
+        for (i, &n) in nodes.iter().enumerate() {
+            cand_ix[n.index()] = i as u32;
+        }
+        // Row of node `m` is read once per edge into `m`; free it after
+        // the last read so only the live frontier stays resident.
+        let mut pending_reads: Vec<u32> = vec![0; net.node_count()];
+        for id in net.node_ids() {
+            for &fo in net.fanouts(id) {
+                pending_reads[fo.index()] += 1;
+            }
+        }
+        let mut transient: Vec<Option<Vec<u64>>> = vec![None; net.node_count()];
+        let mut bits = vec![0u64; k * words];
+        for &id in net.reverse_topo_order().iter() {
+            let mut row = vec![0u64; words];
+            for &fo in net.fanouts(id) {
+                let fx = fo.index();
+                let ci = cand_ix[fx];
+                if ci != u32::MAX {
+                    row[ci as usize / 64] |= 1u64 << (ci % 64);
+                }
+                if let Some(fo_row) = transient[fx].as_ref() {
+                    for (w, v) in row.iter_mut().zip(fo_row) {
+                        *w |= v;
+                    }
+                }
+                pending_reads[fx] -= 1;
+                if pending_reads[fx] == 0 {
+                    transient[fx] = None;
+                }
+            }
+            let ci = cand_ix[id.index()];
+            if ci != u32::MAX {
+                let base = ci as usize * words;
+                bits[base..base + words].copy_from_slice(&row);
+            }
+            if pending_reads[id.index()] > 0 {
+                transient[id.index()] = Some(row);
+            }
+        }
+        SubsetReach {
+            words_per_row: words,
+            bits,
+        }
+    }
+
+    /// Returns `true` if candidate `from` reaches candidate `to` (both are
+    /// indices into the `nodes` slice passed to [`SubsetReach::among`]).
+    /// Irreflexive on acyclic networks, exactly like [`ReachMatrix`].
+    #[inline]
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
+        let w = self.bits[from * self.words_per_row + to / 64];
+        w >> (to % 64) & 1 == 1
+    }
+
+    /// Iterates the candidate indices reachable from candidate `from`, in
+    /// increasing order.
+    pub fn reachable_from(&self, from: usize) -> impl Iterator<Item = usize> + '_ {
+        let row = &self.bits[from * self.words_per_row..(from + 1) * self.words_per_row];
+        row.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word >> b & 1 == 1)
+                .map(move |b| w * 64 + b)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::CellRef;
+
+    fn subset_matches_dense(net: &Network, nodes: &[NodeId]) {
+        let dense = ReachMatrix::of(net);
+        let sub = SubsetReach::among(net, nodes);
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                assert_eq!(
+                    sub.reaches(i, j),
+                    dense.reaches(a, b),
+                    "disagreement on ({i}, {j})"
+                );
+            }
+            let listed: Vec<usize> = sub.reachable_from(i).collect();
+            let expect: Vec<usize> = (0..nodes.len()).filter(|&j| sub.reaches(i, j)).collect();
+            assert_eq!(listed, expect);
+        }
+    }
 
     #[test]
     fn diamond_reachability() {
@@ -129,5 +254,44 @@ mod tests {
             assert!(!m.reaches(ids[ids.len() - 1], u));
         }
         assert!(m.reaches(ids[0], ids[ids.len() - 1]));
+    }
+
+    #[test]
+    fn subset_agrees_with_dense_on_diamond() {
+        let mut net = Network::new("d");
+        let a = net.add_input("a");
+        let l = net.add_gate("l", CellRef(0), &[a]);
+        let r = net.add_gate("r", CellRef(0), &[a]);
+        let top = net.add_gate("top", CellRef(1), &[l, r]);
+        net.add_output("o", top);
+        subset_matches_dense(&net, &[l, r, top]);
+        subset_matches_dense(&net, &[a, top]);
+        subset_matches_dense(&net, &[r]);
+        subset_matches_dense(&net, &[]);
+    }
+
+    #[test]
+    fn subset_crosses_word_boundary() {
+        // > 64 candidates so candidate bitsets span multiple words, with
+        // braided fanout so rows merge across branches.
+        let mut net = Network::new("w");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let mut prev = vec![a, b];
+        let mut gates = Vec::new();
+        for k in 0..140 {
+            let g = net.add_gate(
+                format!("g{k}"),
+                CellRef(0),
+                &[prev[k % prev.len()], prev[(k + 1) % prev.len()]],
+            );
+            gates.push(g);
+            prev.push(g);
+        }
+        net.add_output("o", *gates.last().unwrap());
+        subset_matches_dense(&net, &gates);
+        // sparse, shuffled subset
+        let some: Vec<NodeId> = gates.iter().copied().step_by(3).rev().collect();
+        subset_matches_dense(&net, &some);
     }
 }

@@ -1,0 +1,224 @@
+//! The scenario grid: cartesian product of synthesis profiles × scale
+//! factor × flow-configuration variants × generator seeds, expanded in a
+//! fixed deterministic order.
+
+use dvs_celllib::VoltagePair;
+use dvs_core::FlowConfig;
+use dvs_synth::mcnc::{Profile, PROFILES};
+
+/// One named flow setup: supply pair, clock relaxation and `FlowConfig`.
+///
+/// The relaxation is the "clock period" knob of the paper's protocol: the
+/// timing constraint handed to the algorithms is the minimum mapped delay
+/// times `relax`, so 1.05 starves the algorithms of slack and 1.5 drowns
+/// them in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigVariant {
+    /// Variant name as it appears in scenario ids and JSON.
+    pub name: &'static str,
+    /// Supply pair for the cell library.
+    pub voltages: VoltagePair,
+    /// Clock-period relaxation over the minimum mapped delay (paper: 1.2).
+    pub relax: f64,
+    /// Algorithm knobs.
+    pub config: FlowConfig,
+}
+
+impl ConfigVariant {
+    /// The paper's setup: (5 V, 4.3 V), 20 % relaxation, 10 % area budget.
+    pub fn paper() -> Self {
+        ConfigVariant {
+            name: "paper",
+            voltages: VoltagePair::default(),
+            relax: 1.2,
+            config: FlowConfig::default(),
+        }
+    }
+
+    /// All built-in variants, paper first.
+    pub fn all() -> Vec<Self> {
+        let paper = Self::paper;
+        vec![
+            paper(),
+            // 5 % relaxation: barely any slack anywhere — the regime where
+            // Gscale's created slack is the only thing that works.
+            ConfigVariant {
+                name: "tight-clock",
+                relax: 1.05,
+                ..paper()
+            },
+            // 50 % relaxation: slack everywhere, CVS saturates.
+            ConfigVariant {
+                name: "loose-clock",
+                relax: 1.5,
+                ..paper()
+            },
+            // Starved sizing budget: Gscale degenerates toward Dscale.
+            ConfigVariant {
+                name: "lean-area",
+                config: FlowConfig {
+                    max_area_increase: 0.02,
+                    ..FlowConfig::default()
+                },
+                ..paper()
+            },
+            // Generous sizing budget.
+            ConfigVariant {
+                name: "wide-area",
+                config: FlowConfig {
+                    max_area_increase: 0.25,
+                    ..FlowConfig::default()
+                },
+                ..paper()
+            },
+            // Deeper low rail: bigger energy win per demoted gate, harsher
+            // delay penalty and converter tax.
+            ConfigVariant {
+                name: "deep-low-vdd",
+                voltages: VoltagePair::new(5.0, 3.3),
+                ..paper()
+            },
+        ]
+    }
+
+    /// Looks up a built-in variant by name.
+    pub fn named(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|v| v.name == name)
+    }
+}
+
+/// One cell of the grid: everything needed to run a single experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in grid-expansion order (stable scenario id).
+    pub ix: usize,
+    /// The circuit profile.
+    pub profile: &'static Profile,
+    /// Structural scale factor over the paper's size (≥ 1).
+    pub scale: usize,
+    /// Flow setup.
+    pub variant: ConfigVariant,
+    /// Generator seed salt (0 = the canonical paper stand-in).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Human-readable scenario id, e.g. `des.x10/paper/s0`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}.x{}/{}/s{}",
+            self.profile.name, self.scale, self.variant.name, self.seed
+        )
+    }
+}
+
+/// Grid specification; [`Grid::expand`] turns it into the work queue.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Profiles to sweep.
+    pub profiles: Vec<&'static Profile>,
+    /// Scale factors (each ≥ 1).
+    pub scales: Vec<usize>,
+    /// Flow variants.
+    pub variants: Vec<ConfigVariant>,
+    /// Generator seed salts.
+    pub seeds: Vec<u64>,
+}
+
+impl Grid {
+    /// The default grid: every paper profile at scale 1 under the paper
+    /// variant with the canonical seed — exactly the paper's evaluation.
+    pub fn paper() -> Self {
+        Grid {
+            profiles: PROFILES.iter().collect(),
+            scales: vec![1],
+            variants: vec![ConfigVariant::paper()],
+            seeds: vec![0],
+        }
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn len(&self) -> usize {
+        self.profiles.len() * self.scales.len() * self.variants.len() * self.seeds.len()
+    }
+
+    /// `true` when any dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product in deterministic profile-major order:
+    /// profile → scale → variant → seed.
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &profile in &self.profiles {
+            for &scale in &self.scales {
+                for variant in &self.variants {
+                    for &seed in &self.seeds {
+                        out.push(Scenario {
+                            ix: out.len(),
+                            profile,
+                            scale: scale.max(1),
+                            variant: variant.clone(),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_is_the_paper_evaluation() {
+        let g = Grid::paper();
+        assert_eq!(g.len(), 39);
+        let sc = g.expand();
+        assert_eq!(sc.len(), 39);
+        assert_eq!(sc[0].id(), "C1355.x1/paper/s0");
+        assert!(sc.iter().enumerate().all(|(i, s)| s.ix == i));
+    }
+
+    #[test]
+    fn expansion_order_is_profile_major() {
+        let g = Grid {
+            profiles: PROFILES.iter().take(2).collect(),
+            scales: vec![1, 10],
+            variants: vec![ConfigVariant::paper(), ConfigVariant::named("tight-clock").unwrap()],
+            seeds: vec![0, 7],
+        };
+        assert_eq!(g.len(), 16);
+        let sc = g.expand();
+        assert_eq!(sc.len(), 16);
+        let ids: Vec<String> = sc.iter().take(5).map(|s| s.id()).collect();
+        assert_eq!(
+            ids,
+            [
+                "C1355.x1/paper/s0",
+                "C1355.x1/paper/s7",
+                "C1355.x1/tight-clock/s0",
+                "C1355.x1/tight-clock/s7",
+                "C1355.x10/paper/s0",
+            ]
+        );
+    }
+
+    #[test]
+    fn builtin_variants_are_unique_and_findable() {
+        let all = ConfigVariant::all();
+        for (i, v) in all.iter().enumerate() {
+            assert_eq!(ConfigVariant::named(v.name).as_ref(), Some(v));
+            for w in &all[i + 1..] {
+                assert_ne!(v.name, w.name);
+            }
+            v.config.assert_valid();
+            assert!(v.relax >= 1.0, "{}: relax under 1 would violate tmin", v.name);
+        }
+        assert!(ConfigVariant::named("nope").is_none());
+    }
+}

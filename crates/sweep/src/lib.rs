@@ -1,0 +1,96 @@
+//! # dvs-sweep
+//!
+//! Parallel experiment-sweep engine: expands a **scenario grid** —
+//! cartesian product of synthesis profiles × structural scale factor ×
+//! [`ConfigVariant`]s (clock relaxation, area budget, voltage pair) ×
+//! generator seeds — into a work queue, executes it on a dependency-free
+//! `std::thread` worker pool with deterministic result ordering and
+//! per-scenario thread-CPU timing, and serializes the results to
+//! `BENCH_sweep.json` with a hand-rolled JSON writer (the container is
+//! offline; no serde).
+//!
+//! The `dvs-sweep` CLI binary lives in `dvs-bench` (which also routes the
+//! `repro_table1`/`repro_table2` reproductions through this pool); this
+//! crate is the engine.
+//!
+//! ## Determinism contract
+//!
+//! Every scenario is a pure function of its grid cell: generation is
+//! seeded, power simulation uses the configured fixed seed, and the pool
+//! re-merges results in grid order. Consequently a `--jobs 8` run and a
+//! `--jobs 1` run produce identical *measurements*; only wall/CPU-time
+//! fields can differ. Rendering with `timing == false` zeroes those
+//! fields, making the whole document byte-identical across worker counts
+//! (that is what the CI smoke test asserts).
+//!
+//! ## `BENCH_sweep.json` schema (`dvs-sweep/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "dvs-sweep/v1",
+//!   "timing": true,              // false when --deterministic zeroed the clocks
+//!   "scenario_count": 39,
+//!   "summary": {                 // means over all scenarios
+//!     "avg_cvs_pct": 9.3,        // Table 1 bottom-row analogues
+//!     "avg_dscale_pct": 9.4,
+//!     "avg_gscale_pct": 17.0,
+//!     "avg_cvs_low_ratio": 0.4,  // Table 2 bottom-row analogues
+//!     "avg_dscale_low_ratio": 0.45,
+//!     "avg_gscale_low_ratio": 0.7
+//!   },
+//!   "scenarios": [               // grid order: profile → scale → variant → seed
+//!     {
+//!       "id": "des.x10/paper/s0",    // {circuit}.x{scale}/{variant}/s{seed}
+//!       "circuit": "des",            // profile name from the paper's tables
+//!       "scale": 10,                 // structural scale factor (≥ 1)
+//!       "variant": "paper",          // ConfigVariant name
+//!       "seed": 0,                   // generator seed salt
+//!       "gates": 27900,              // logic gates after preparation
+//!       "tspec_ns": 12.3,            // timing constraint handed to the algorithms
+//!       "org_pwr_uw": 16157.2,       // single-Vdd power of the prepared network
+//!       "cvs":    { "power_uw": …, "improvement_pct": …, "low_gates": …,
+//!                   "low_ratio": …, "converters": 0, "resized": 0,
+//!                   "area_increase": …, "cpu_s": … },
+//!       "dscale": { …, "converters": N, … },   // same shape as "cvs"
+//!       "gscale": { …, "resized": N, … },      // same shape as "cvs"
+//!       "wall_s": 1.03,              // whole-scenario wall clock
+//!       "cpu_s": 0.98                // whole-scenario per-thread CPU clock
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! All `cpu_s` fields are **per-thread** CPU seconds
+//! ([`dvs_core::CpuTimer`]), so a loaded pool reports the same CPU cost as
+//! a sequential baseline instead of billing descheduled time.
+//!
+//! ## Example
+//!
+//! ```
+//! use dvs_sweep::{ConfigVariant, Grid};
+//!
+//! let grid = Grid {
+//!     profiles: vec![dvs_synth::mcnc::find("x2").unwrap()],
+//!     scales: vec![1, 2],
+//!     variants: vec![ConfigVariant::paper()],
+//!     seeds: vec![0],
+//! };
+//! let results = dvs_sweep::run_grid(&grid, 2, |_| {});
+//! assert_eq!(results.len(), 2);
+//! assert!(results[1].gates > results[0].gates);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+mod grid;
+mod pool;
+mod runner;
+
+pub use grid::{ConfigVariant, Grid, Scenario};
+pub use pool::{default_jobs, run_indexed};
+pub use runner::{
+    mean, run_grid, run_scenario, to_json, write_results, AlgoSummary, ScenarioResult,
+};

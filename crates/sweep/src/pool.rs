@@ -1,0 +1,120 @@
+//! A dependency-free `std::thread` worker pool with deterministic,
+//! interleaving-independent result ordering.
+//!
+//! Workers claim item indices from a shared atomic counter (dynamic
+//! load-balancing — a worker stuck on `des` does not hold up 38 small
+//! circuits) and stash `(index, result)` pairs; the results are re-merged
+//! in item order, so the output is byte-for-byte independent of how the
+//! scheduler interleaved the workers or how many there were.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `DVS_JOBS` when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`], otherwise 1.
+pub fn default_jobs() -> usize {
+    std::env::var("DVS_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads and returns
+/// the results **in item order**, regardless of completion order.
+///
+/// `f(i, &items[i])` may run on any worker; per-item state must therefore
+/// be thread-confined (which is also what makes per-scenario
+/// [`CpuTimer`](dvs_core::CpuTimer) readings honest: each item starts and
+/// stops its clocks on the one thread that runs it).
+///
+/// # Panics
+///
+/// Propagates the first worker panic after the pool drains.
+pub fn run_indexed<I, T, F>(items: &[I], jobs: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                done.lock().unwrap().push((i, out));
+            });
+        }
+    });
+    let mut pairs = done.into_inner().unwrap();
+    pairs.sort_by_key(|&(i, _)| i);
+    debug_assert!(pairs.iter().enumerate().all(|(k, &(i, _))| k == i));
+    pairs.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_item_order_under_contention() {
+        let items: Vec<usize> = (0..200).collect();
+        let seq = run_indexed(&items, 1, |i, &x| (i, x * x));
+        for jobs in [2, 3, 8] {
+            let par = run_indexed(&items, jobs, |i, &x| {
+                // jitter completion order
+                if x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                (i, x * x)
+            });
+            assert_eq!(par, seq, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..57).collect();
+        let out = run_indexed(&items, 4, |_, &x| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 57);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_input_and_oversized_pool() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run_indexed(&empty, 8, |_, &x| x).is_empty());
+        let one = [41u8];
+        assert_eq!(run_indexed(&one, 64, |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn jobs_env_var_wins() {
+        // temporal coupling with other tests is avoided by using the
+        // process env only inside this test
+        std::env::set_var("DVS_JOBS", "3");
+        assert_eq!(default_jobs(), 3);
+        std::env::set_var("DVS_JOBS", "junk");
+        assert!(default_jobs() >= 1);
+        std::env::remove_var("DVS_JOBS");
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end determinism of the sweep engine: the written
+//! `BENCH_sweep.json` must be byte-identical across worker counts once
+//! timing fields are suppressed, and always syntactically valid.
+
+use dvs_core::FlowConfig;
+use dvs_sweep::{json, run_grid, write_results, ConfigVariant, Grid};
+use dvs_synth::mcnc::find;
+
+fn grid() -> Grid {
+    let cheap = |v: ConfigVariant| ConfigVariant {
+        config: FlowConfig {
+            sim_vectors: 128,
+            ..v.config
+        },
+        ..v
+    };
+    Grid {
+        profiles: vec![find("i1").unwrap(), find("x2").unwrap(), find("mux").unwrap()],
+        scales: vec![1, 2],
+        variants: vec![
+            cheap(ConfigVariant::paper()),
+            cheap(ConfigVariant::named("tight-clock").unwrap()),
+        ],
+        seeds: vec![0, 1],
+    }
+}
+
+#[test]
+fn multi_job_json_is_byte_identical_to_single_job() {
+    let grid = grid();
+    let dir = std::env::temp_dir();
+    let p1 = dir.join("dvs_sweep_det_j1.json");
+    let p4 = dir.join("dvs_sweep_det_j4.json");
+
+    write_results(&p1, &run_grid(&grid, 1, |_| {}), false).unwrap();
+    write_results(&p4, &run_grid(&grid, 4, |_| {}), false).unwrap();
+
+    let a = std::fs::read(&p1).unwrap();
+    let b = std::fs::read(&p4).unwrap();
+    assert!(!a.is_empty(), "emitted JSON is empty");
+    assert_eq!(a, b, "jobs=4 output differs from jobs=1");
+
+    let text = String::from_utf8(a).unwrap();
+    json::validate(&text).expect("emitted JSON must parse");
+    assert!(text.contains("\"scenario_count\": 24"));
+
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p4).ok();
+}
+
+#[test]
+fn timed_documents_stay_valid_and_cover_the_grid() {
+    let grid = Grid {
+        scales: vec![1],
+        seeds: vec![0],
+        ..grid()
+    };
+    let results = run_grid(&grid, 2, |_| {});
+    let doc = dvs_sweep::to_json(&results, true).render();
+    json::validate(&doc).expect("timed JSON must parse");
+    for sc in grid.expand() {
+        assert!(
+            doc.contains(&format!("\"id\": \"{}\"", sc.id())),
+            "scenario {} missing from the document",
+            sc.id()
+        );
+    }
+}

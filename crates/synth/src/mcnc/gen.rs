@@ -25,6 +25,76 @@ fn seed_of(name: &str) -> u64 {
     h
 }
 
+/// SplitMix64 finaliser mixing scale and seed salt into the name hash.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Generation target: a profile's shape after applying a scale factor.
+///
+/// The generators only ever read the *shape* (never the paper columns), so
+/// scaled stand-ins route through the same code paths as the paper's
+/// originals.
+pub(crate) struct Target {
+    pub name: String,
+    pub gates: usize,
+    pub inputs: usize,
+    pub outputs: usize,
+    pub style: Style,
+}
+
+impl Target {
+    /// Scales a profile's shape **structurally**: circuits get deeper
+    /// and/or wider according to what actually determines their gate count,
+    /// never by tiling disjoint copies.
+    ///
+    /// * `CarryChain` / `MuxTree` — gate count is a structural function of
+    ///   the input count (≈12 gates/bit chain, ≈3 gates/leaf tree), so the
+    ///   inputs scale linearly: a 10× adder is a 10×-wider adder.
+    /// * `ReductionCone` — inputs scale linearly (deeper cones), cones
+    ///   multiply by `√scale`.
+    /// * everything else — the gate budget scales linearly while the I/O
+    ///   boundary grows by `√scale`, the classic Rent-style relation, so
+    ///   each output cone also deepens by `√scale`.
+    pub(crate) fn of(profile: &Profile, scale: usize) -> Target {
+        let scale = scale.max(1);
+        let name = if scale == 1 {
+            profile.name.to_owned()
+        } else {
+            format!("{}.x{scale}", profile.name)
+        };
+        let root = (scale as f64).sqrt();
+        let grow = |v: usize| ((v as f64 * root).round() as usize).max(v);
+        let (gates, inputs, outputs) = match profile.style {
+            Style::CarryChain | Style::MuxTree => (
+                profile.gates * scale,
+                profile.inputs * scale,
+                profile.outputs * scale,
+            ),
+            Style::ReductionCone { .. } => (
+                profile.gates * scale,
+                profile.inputs * scale,
+                grow(profile.outputs),
+            ),
+            Style::ParityLattice | Style::SpineCloud | Style::Random { .. } => (
+                profile.gates * scale,
+                grow(profile.inputs),
+                grow(profile.outputs),
+            ),
+        };
+        Target {
+            name,
+            gates,
+            inputs,
+            outputs,
+            style: profile.style,
+        }
+    }
+}
+
 struct Cells {
     inv: CellRef,
     buf: CellRef,
@@ -114,25 +184,43 @@ impl Cells {
     }
 }
 
-/// Builds the stand-in network for one profile.
+/// Builds the stand-in network for one profile at paper size.
 pub(crate) fn build(profile: &Profile, lib: &Library) -> Network {
-    let mut rng = SmallRng::seed_from_u64(seed_of(profile.name));
+    build_scaled(profile, lib, 1, 0)
+}
+
+/// Builds the stand-in network for one profile at `scale`× paper size.
+///
+/// `seed` salts the structural RNG: `(scale, seed) = (1, 0)` is
+/// bit-identical to the canonical paper stand-in, any other pair derives a
+/// distinct but deterministic variant (same shape class, different random
+/// choices). Styles without random structure (carry chains, mux trees,
+/// reduction cones) ignore the salt by construction.
+pub(crate) fn build_scaled(profile: &Profile, lib: &Library, scale: usize, seed: u64) -> Network {
+    let target = Target::of(profile, scale);
+    let base = seed_of(profile.name);
+    let mixed = if scale <= 1 && seed == 0 {
+        base
+    } else {
+        splitmix(base ^ (scale as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ seed)
+    };
+    let mut rng = SmallRng::seed_from_u64(mixed);
     let cells = Cells::resolve(lib);
-    match profile.style {
-        Style::ParityLattice => parity_lattice(profile, &cells, &mut rng),
-        Style::CarryChain => carry_chain(profile, &cells),
-        Style::ReductionCone { arity } => reduction_cone(profile, &cells, arity),
-        Style::MuxTree => mux_tree(profile, &cells),
-        Style::SpineCloud => spine_cloud(profile, &cells, &mut rng),
-        Style::Random { uniformity } => random_logic(profile, &cells, uniformity, &mut rng),
+    match target.style {
+        Style::ParityLattice => parity_lattice(&target, &cells, &mut rng),
+        Style::CarryChain => carry_chain(&target, &cells),
+        Style::ReductionCone { arity } => reduction_cone(&target, &cells, arity),
+        Style::MuxTree => mux_tree(&target, &cells),
+        Style::SpineCloud => spine_cloud(&target, &cells, &mut rng),
+        Style::Random { uniformity } => random_logic(&target, &cells, uniformity, &mut rng),
     }
 }
 
 /// Uniform-depth XOR lattice with fanout-2 sharing at every level: CVS
 /// finds no primary-output slack, yet every gate is a profitable sizing
 /// target, so `Gscale` can peel the time-critical boundary level by level.
-fn parity_lattice(p: &Profile, cells: &Cells, rng: &mut SmallRng) -> Network {
-    let mut net = Network::new(p.name);
+fn parity_lattice(p: &Target, cells: &Cells, rng: &mut SmallRng) -> Network {
+    let mut net = Network::new(p.name.as_str());
     let pis: Vec<NodeId> = (0..p.inputs)
         .map(|i| net.add_input(format!("pi{i}")))
         .collect();
@@ -191,8 +279,8 @@ fn xor_nands(net: &mut Network, cells: &Cells, tag: &str, a: NodeId, b: NodeId) 
 
 /// Ripple-carry adder: per-bit sum outputs tap the carry spine at
 /// increasing depth, the classic staircase of slack that CVS exploits.
-fn carry_chain(p: &Profile, cells: &Cells) -> Network {
-    let mut net = Network::new(p.name);
+fn carry_chain(p: &Target, cells: &Cells) -> Network {
+    let mut net = Network::new(p.name.as_str());
     let bits = ((p.inputs - 1) / 2).max(2);
     let a: Vec<NodeId> = (0..bits).map(|i| net.add_input(format!("a{i}"))).collect();
     let b: Vec<NodeId> = (0..bits).map(|i| net.add_input(format!("b{i}"))).collect();
@@ -211,8 +299,8 @@ fn carry_chain(p: &Profile, cells: &Cells) -> Network {
 
 /// Fanout-1 AND/OR reduction cones: uniform depth (no CVS slack) *and* no
 /// profitable sizing move anywhere — the i2/i3 "nothing works" class.
-fn reduction_cone(p: &Profile, cells: &Cells, arity: u8) -> Network {
-    let mut net = Network::new(p.name);
+fn reduction_cone(p: &Target, cells: &Cells, arity: u8) -> Network {
+    let mut net = Network::new(p.name.as_str());
     let pis: Vec<NodeId> = (0..p.inputs)
         .map(|i| net.add_input(format!("pi{i}")))
         .collect();
@@ -256,8 +344,8 @@ fn reduction_cone(p: &Profile, cells: &Cells, arity: u8) -> Network {
 
 /// NAND-mux tree over `k` data inputs with shared select lines: single
 /// uniform-depth output (CVS = 0) but select fanout that sizing exploits.
-fn mux_tree(p: &Profile, cells: &Cells) -> Network {
-    let mut net = Network::new(p.name);
+fn mux_tree(p: &Target, cells: &Cells) -> Network {
+    let mut net = Network::new(p.name.as_str());
     // k data + log2(k) selects ≈ profile inputs
     let mut k = 2usize;
     while k * 2 + (k * 2).ilog2() as usize <= p.inputs {
@@ -304,8 +392,8 @@ fn mux_tree(p: &Profile, cells: &Cells) -> Network {
 /// One deep fanout-1 NAND spine (critical, unsizable) plus a shallow cloud
 /// holding all the slack: CVS immediately takes the whole cloud and nothing
 /// can ever push the boundary — the pcle class.
-fn spine_cloud(p: &Profile, cells: &Cells, rng: &mut SmallRng) -> Network {
-    let mut net = Network::new(p.name);
+fn spine_cloud(p: &Target, cells: &Cells, rng: &mut SmallRng) -> Network {
+    let mut net = Network::new(p.name.as_str());
     let pis: Vec<NodeId> = (0..p.inputs)
         .map(|i| net.add_input(format!("pi{i}")))
         .collect();
@@ -348,8 +436,8 @@ fn spine_cloud(p: &Profile, cells: &Cells, rng: &mut SmallRng) -> Network {
 /// which is precisely the pocket only `Dscale` (with a level converter)
 /// can exploit. Organic multi-fanout keeps `Gscale`'s sizing profitable on
 /// the critical cones.
-fn random_logic(p: &Profile, cells: &Cells, uniformity: f64, rng: &mut SmallRng) -> Network {
-    let mut net = Network::new(p.name);
+fn random_logic(p: &Target, cells: &Cells, uniformity: f64, rng: &mut SmallRng) -> Network {
+    let mut net = Network::new(p.name.as_str());
     let pis: Vec<NodeId> = (0..p.inputs)
         .map(|i| net.add_input(format!("pi{i}")))
         .collect();

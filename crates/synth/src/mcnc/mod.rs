@@ -38,3 +38,20 @@ pub fn generate(name: &str, lib: &Library) -> Option<Network> {
 pub fn generate_profile(profile: &Profile, lib: &Library) -> Network {
     gen::build(profile, lib)
 }
+
+/// Generates a profile's stand-in at `scale`× the paper's size with a
+/// salted structural RNG.
+///
+/// Scaling is structural, not tiling: carry chains and mux trees widen
+/// their input boundary linearly (their gate count is a function of it),
+/// reduction cones deepen with linearly more inputs, and every other style
+/// grows its gate budget linearly while the I/O boundary follows a
+/// `√scale` Rent-style relation — so a 10× circuit is deeper *and* wider,
+/// not ten disconnected copies.
+///
+/// `(scale, seed) = (1, 0)` is bit-identical to [`generate_profile`]; any
+/// other pair is a deterministic variant. The network is named
+/// `"{name}.x{scale}"` when `scale > 1`.
+pub fn generate_scaled(profile: &Profile, lib: &Library, scale: usize, seed: u64) -> Network {
+    gen::build_scaled(profile, lib, scale, seed)
+}

@@ -21,6 +21,7 @@
 //! | [`flow`] | `dvs-flow` | max-flow, separators, antichains |
 //! | [`synth`] | `dvs-synth` | mapping, sizing, MCNC profiles |
 //! | [`core`] | `dvs-core` | CVS, Dscale, Gscale, audits |
+//! | [`sweep`] | `dvs-sweep` | parallel scenario-grid sweeps, `BENCH_sweep.json` |
 //!
 //! # Quickstart
 //!
@@ -79,6 +80,12 @@ pub mod synth {
 /// (re-export of [`dvs_core`]).
 pub mod core {
     pub use dvs_core::*;
+}
+
+/// Parallel experiment sweeps: scenario grids, the worker pool and
+/// machine-readable results (re-export of [`dvs_sweep`]).
+pub mod sweep {
+    pub use dvs_sweep::*;
 }
 
 /// The names most flows need, importable in one line.
