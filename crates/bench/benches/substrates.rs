@@ -41,13 +41,9 @@ fn bench_simulation(c: &mut Criterion) {
     for name in ["b9", "k2"] {
         let prepared = prepare_circuit(mcnc::find(name).unwrap(), &lib);
         for vectors in [1024usize, 4096] {
-            group.bench_with_input(
-                BenchmarkId::new(name, vectors),
-                &vectors,
-                |b, &vectors| {
-                    b.iter(|| simulate(&prepared.network, &lib, vectors, 7));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, vectors), &vectors, |b, &vectors| {
+                b.iter(|| simulate(&prepared.network, &lib, vectors, 7));
+            });
         }
     }
     group.finish();

@@ -78,7 +78,10 @@ fn ablate_weighting() {
             };
             let mut net = prepared.network.clone();
             let out = dscale(&mut net, &lib, prepared.tspec_ns, &cfg);
-            row.push((improvement(org, measure_power(&net, &lib, &cfg)), out.converters));
+            row.push((
+                improvement(org, measure_power(&net, &lib, &cfg)),
+                out.converters,
+            ));
         }
         println!(
             "{:<8} {:>8.2} {:>10.2} / {:<4} {:>9.2} / {:<4}",

@@ -15,7 +15,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dvs_core::FlowConfig;
-use dvs_sweep::{default_jobs, mean, run_grid, write_results, ConfigVariant, Grid};
+use dvs_sweep::{
+    compare, default_jobs, json, mean, run_grid, to_json, write_results, ConfigVariant, Grid,
+    ScenarioResult,
+};
 use dvs_synth::mcnc::{self, Profile, PROFILES};
 
 const USAGE: &str = "dvs-sweep: parallel experiment sweeps over a scenario grid
@@ -40,6 +43,10 @@ OPTIONS:
     --out PATH        output file                      [default: BENCH_sweep.json]
     --deterministic   zero all wall/CPU-time fields so the document is
                       byte-identical across runs and worker counts
+    --compare PATH    after the sweep, diff the new results against an
+                      earlier sweep document (per-scenario power /
+                      improvement / CPU deltas); exits nonzero when PATH
+                      has an unreadable schema tag
     -h, --help        print this help
 ";
 
@@ -48,6 +55,7 @@ struct Args {
     jobs: usize,
     out: PathBuf,
     deterministic: bool,
+    compare: Option<PathBuf>,
 }
 
 fn parse_profiles(spec: &str) -> Result<Vec<&'static Profile>, String> {
@@ -60,9 +68,7 @@ fn parse_profiles(spec: &str) -> Result<Vec<&'static Profile>, String> {
         names => names
             .split(',')
             .filter(|s| !s.is_empty())
-            .map(|name| {
-                mcnc::find(name).ok_or_else(|| format!("unknown circuit `{name}`"))
-            })
+            .map(|name| mcnc::find(name).ok_or_else(|| format!("unknown circuit `{name}`")))
             .collect(),
     }
 }
@@ -83,6 +89,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut vectors: Option<usize> = None;
     let mut out = PathBuf::from("BENCH_sweep.json");
     let mut deterministic = false;
+    let mut compare: Option<PathBuf> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -101,7 +108,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--profiles" => profiles = parse_profiles(&value(&mut i, "--profiles")?)?,
             "--scale" => {
                 scales = parse_list(&value(&mut i, "--scale")?, "scale factor")?;
-                if scales.iter().any(|&s: &usize| s == 0) {
+                if scales.contains(&0) {
                     return Err("scale factors must be >= 1".into());
                 }
             }
@@ -138,6 +145,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--out" => out = PathBuf::from(value(&mut i, "--out")?),
             "--deterministic" => deterministic = true,
+            "--compare" => compare = Some(PathBuf::from(value(&mut i, "--compare")?)),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
         i += 1;
@@ -163,7 +171,25 @@ fn parse_args() -> Result<Option<Args>, String> {
         jobs,
         out,
         deterministic,
+        compare,
     }))
+}
+
+/// Loads an earlier sweep document and prints the trajectory diff against
+/// the just-computed results. Any failure — unreadable file, malformed
+/// JSON, unknown schema tag — comes back as `Err` for a nonzero exit.
+fn run_compare(
+    old_path: &std::path::Path,
+    results: &[ScenarioResult],
+    timing: bool,
+) -> Result<(), String> {
+    let old_text = std::fs::read_to_string(old_path)
+        .map_err(|e| format!("reading {}: {e}", old_path.display()))?;
+    let old = json::parse(&old_text).map_err(|e| format!("parsing {}: {e}", old_path.display()))?;
+    let new = to_json(results, timing);
+    let cmp = compare(&old, &new)?;
+    print!("{}", cmp.render());
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -185,16 +211,23 @@ fn main() -> ExitCode {
         args.grid.seeds.len(),
         args.jobs,
     );
-    let results = run_grid(&args.grid, args.jobs, |r| {
-        eprintln!(
+    let results =
+        run_grid(&args.grid, args.jobs, |r| {
+            eprintln!(
             "  {:<28} {:>7} gates  cvs {:>6.2}%  dscale {:>6.2}%  gscale {:>6.2}%  ({:.2}s cpu)",
             r.id, r.gates, r.cvs.improvement_pct, r.dscale.improvement_pct,
             r.gscale.improvement_pct, r.cpu_s,
         );
-    });
+        });
     if let Err(e) = write_results(&args.out, &results, !args.deterministic) {
         eprintln!("dvs-sweep: writing {}: {e}", args.out.display());
         return ExitCode::FAILURE;
+    }
+    if let Some(old_path) = &args.compare {
+        if let Err(e) = run_compare(old_path, &results, !args.deterministic) {
+            eprintln!("dvs-sweep: --compare: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     println!(
         "{} scenario(s) -> {}  (avg improvement: cvs {:.2}%, dscale {:.2}%, gscale {:.2}%)",

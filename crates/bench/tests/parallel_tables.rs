@@ -44,6 +44,11 @@ fn parallel_tables_match_sequential_tables() {
 
     assert_eq!(parallel.len(), sequential.len());
     for (s, p) in sequential.iter().zip(&parallel) {
-        assert_eq!(values(s), values(p), "{} diverged under parallelism", s.name);
+        assert_eq!(
+            values(s),
+            values(p),
+            "{} diverged under parallelism",
+            s.name
+        );
     }
 }

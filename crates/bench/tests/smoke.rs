@@ -26,14 +26,21 @@ fn smallest_profile_end_to_end() {
     // No algorithm may end above the original power, and the paper's
     // ordering must hold: Dscale and Gscale each dominate the CVS
     // baseline they extend.
-    for (label, algo) in [("cvs", &run.cvs), ("dscale", &run.dscale), ("gscale", &run.gscale)] {
+    for (label, algo) in [
+        ("cvs", &run.cvs),
+        ("dscale", &run.dscale),
+        ("gscale", &run.gscale),
+    ] {
         assert!(
             algo.power_uw <= run.org_pwr_uw + 1e-9,
             "{label} raised power: {} -> {}",
             run.org_pwr_uw,
             algo.power_uw
         );
-        assert!(algo.improvement_pct >= -1e-9, "{label} negative improvement");
+        assert!(
+            algo.improvement_pct >= -1e-9,
+            "{label} negative improvement"
+        );
     }
     assert!(
         run.dscale.improvement_pct >= run.cvs.improvement_pct - 1e-9,

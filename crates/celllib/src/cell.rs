@@ -57,10 +57,7 @@ impl Cell {
         }
     }
 
-    pub(crate) fn new_converter(
-        name: impl Into<String>,
-        sizes: Vec<SizeVariant>,
-    ) -> Self {
+    pub(crate) fn new_converter(name: impl Into<String>, sizes: Vec<SizeVariant>) -> Self {
         let mut cell = Cell::new(name, GateFn::Buf, sizes);
         cell.is_converter = true;
         cell

@@ -40,9 +40,7 @@ impl GateFn {
             GateFn::Buf | GateFn::Inv => 1,
             GateFn::And(n) | GateFn::Nand(n) | GateFn::Or(n) | GateFn::Nor(n) => n as usize,
             GateFn::Xor | GateFn::Xnor => 2,
-            GateFn::Aoi(groups) | GateFn::Oai(groups) => {
-                groups.iter().map(|&g| g as usize).sum()
-            }
+            GateFn::Aoi(groups) | GateFn::Oai(groups) => groups.iter().map(|&g| g as usize).sum(),
         }
     }
 
@@ -163,19 +161,10 @@ mod tests {
     fn basic_gates() {
         assert_eq!(truth_table(GateFn::Inv), vec![true, false]);
         assert_eq!(truth_table(GateFn::Buf), vec![false, true]);
-        assert_eq!(
-            truth_table(GateFn::And(2)),
-            vec![false, false, false, true]
-        );
-        assert_eq!(
-            truth_table(GateFn::Nand(2)),
-            vec![true, true, true, false]
-        );
+        assert_eq!(truth_table(GateFn::And(2)), vec![false, false, false, true]);
+        assert_eq!(truth_table(GateFn::Nand(2)), vec![true, true, true, false]);
         assert_eq!(truth_table(GateFn::Or(2)), vec![false, true, true, true]);
-        assert_eq!(
-            truth_table(GateFn::Nor(2)),
-            vec![true, false, false, false]
-        );
+        assert_eq!(truth_table(GateFn::Nor(2)), vec![true, false, false, false]);
         assert_eq!(truth_table(GateFn::Xor), vec![false, true, true, false]);
         assert_eq!(truth_table(GateFn::Xnor), vec![true, false, false, true]);
     }
@@ -238,7 +227,11 @@ mod tests {
             let out = f.eval_words(&words);
             for pattern in 0..1usize << n {
                 let bits: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
-                assert_eq!(out >> pattern & 1 == 1, f.eval_bool(&bits), "{f} p={pattern}");
+                assert_eq!(
+                    out >> pattern & 1 == 1,
+                    f.eval_bool(&bits),
+                    "{f} p={pattern}"
+                );
             }
         }
     }

@@ -41,7 +41,11 @@ pub struct ParseLibraryError {
 
 impl fmt::Display for ParseLibraryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "library parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "library parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -301,9 +305,7 @@ pub fn parse(text: &str) -> Result<Library, ParseLibraryError> {
     if let Some(sizes) = converter_sizes {
         builder = builder.converter_cell(sizes);
     }
-    builder
-        .build()
-        .map_err(|e| err(last_line, e.to_string()))
+    builder.build().map_err(|e| err(last_line, e.to_string()))
 }
 
 #[cfg(test)]

@@ -42,7 +42,10 @@ impl fmt::Display for AuditError {
                 write!(f, "{crossings} unrestored low-to-high crossings")
             }
             AuditError::UnexpectedConverters { count } => {
-                write!(f, "{count} converters in a clustered (converter-free) regime")
+                write!(
+                    f,
+                    "{count} converters in a clustered (converter-free) regime"
+                )
             }
         }
     }
@@ -143,7 +146,8 @@ mod tests {
         let lib = lib();
         let (mut net, g1, g2) = two_stage(&lib);
         net.set_rail(g1, Rail::Low);
-        net.insert_converter(g1, &[g2], false, lib.converter()).unwrap();
+        net.insert_converter(g1, &[g2], false, lib.converter())
+            .unwrap();
         assert!(audit(&net, &lib, 10.0, true).is_ok());
         let err = audit(&net, &lib, 10.0, false).unwrap_err();
         assert!(matches!(err, AuditError::UnexpectedConverters { count: 1 }));

@@ -9,19 +9,43 @@
 //! (cumulative on-CPU nanoseconds maintained by the Linux scheduler; no
 //! libc binding needed). Where that file is unavailable the timer degrades
 //! to a monotonic wall clock — identical to the old behaviour.
+//!
+//! ## Tick granularity
+//!
+//! The schedstat counter only advances at scheduler accounting boundaries
+//! (timer ticks and context switches — typically every 1–10 ms), so a
+//! phase shorter than one tick can read as zero even though it burned real
+//! CPU. Worse, chopping a run into phases with independent [`CpuTimer`]s
+//! *truncates at every boundary*: each sub-tick remainder is dropped, and
+//! the per-phase columns can sum to much less than the run's true cost.
+//! [`CpuLap`] mitigates this by carrying one raw nanosecond accumulator
+//! across phase boundaries — each lap is the exact counter movement since
+//! the previous lap, so the laps telescope: their sum always equals the
+//! total counter movement over the whole run, with nothing truncated away.
+//! Individual sub-tick laps can still read 0 (the counter simply has not
+//! moved yet), but the missing time then surfaces in the lap where the
+//! tick lands instead of vanishing.
 
 use std::time::{Duration, Instant};
 
-/// Reads this thread's cumulative on-CPU time, if the platform exposes it.
+/// Reads this thread's cumulative on-CPU time as raw nanoseconds, if the
+/// platform exposes it.
 ///
 /// Linux: first field of `/proc/thread-self/schedstat`, nanoseconds spent
 /// executing (sum of user and system time, maintained even when
 /// `CONFIG_SCHEDSTATS` is off since it feeds `clock_gettime`'s accounting).
-/// Elsewhere: `None`.
-pub fn thread_cpu_time() -> Option<Duration> {
+/// Elsewhere: `None`. See the module docs for the counter's granularity.
+pub fn thread_cpu_raw_ns() -> Option<u64> {
     let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
     let first = text.split_whitespace().next()?;
-    first.parse::<u64>().ok().map(Duration::from_nanos)
+    first.parse::<u64>().ok()
+}
+
+/// Reads this thread's cumulative on-CPU time, if the platform exposes it.
+///
+/// [`thread_cpu_raw_ns`] wrapped in a [`Duration`].
+pub fn thread_cpu_time() -> Option<Duration> {
+    thread_cpu_raw_ns().map(Duration::from_nanos)
 }
 
 /// A started clock measuring CPU time consumed by the calling thread.
@@ -55,6 +79,49 @@ impl CpuTimer {
     }
 }
 
+/// A lap clock over the thread CPU counter that never drops time at phase
+/// boundaries.
+///
+/// Each [`CpuLap::lap`] returns the raw counter movement since the
+/// previous lap and re-arms from the *value just read* (not a second
+/// read), so consecutive laps telescope: their sum equals the total
+/// counter delta across all of them. Use one `CpuLap` across a multi-phase
+/// protocol instead of one [`CpuTimer`] per phase — see the module docs
+/// for why per-phase timers under-report on sub-tick phases.
+///
+/// Same thread-affinity rule as [`CpuTimer`]: lap on the thread that
+/// started the clock. Falls back to wall time when no thread clock exists.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuLap {
+    cpu_last: Option<u64>,
+    wall_last: Instant,
+}
+
+impl CpuLap {
+    /// Arms the lap clock on the calling thread.
+    pub fn start() -> Self {
+        CpuLap {
+            cpu_last: thread_cpu_raw_ns(),
+            wall_last: Instant::now(),
+        }
+    }
+
+    /// Returns the CPU time consumed since the previous lap (or since
+    /// [`CpuLap::start`]) and re-arms the clock from the reading itself.
+    pub fn lap(&mut self) -> Duration {
+        let wall_now = Instant::now();
+        let wall = wall_now.duration_since(self.wall_last);
+        self.wall_last = wall_now;
+        match (self.cpu_last, thread_cpu_raw_ns()) {
+            (Some(last), Some(now)) => {
+                self.cpu_last = Some(now);
+                Duration::from_nanos(now.saturating_sub(last))
+            }
+            _ => wall,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +140,34 @@ mod tests {
         // a pure spin's CPU time cannot exceed wall time by more than
         // clock granularity
         assert!(cpu <= t.wall_start.elapsed() + Duration::from_millis(20));
+    }
+
+    #[test]
+    fn laps_telescope_to_the_total() {
+        if thread_cpu_raw_ns().is_none() {
+            return; // wall fallback has no counter to telescope
+        }
+        let mut lap = CpuLap::start();
+        let start = lap.cpu_last.unwrap();
+        let mut total = Duration::ZERO;
+        let t0 = Instant::now();
+        let mut acc = 1u64;
+        for i in 0..8u32 {
+            let deadline = Duration::from_millis(5 * u64::from(i) + 5);
+            while t0.elapsed() < deadline {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(acc);
+            total += lap.lap();
+        }
+        // the laps re-arm from the value they read, so they must sum
+        // exactly to the counter movement between first arm and last lap
+        let after = lap.cpu_last.unwrap();
+        assert_eq!(
+            total,
+            Duration::from_nanos(after - start),
+            "laps must sum exactly to the counter delta"
+        );
     }
 
     #[test]

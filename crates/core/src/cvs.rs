@@ -7,6 +7,7 @@ use dvs_netlist::{Network, NodeId, Rail};
 use dvs_sta::Timing;
 
 use crate::demote::{demotion_fits, DemotionPlan};
+use crate::session::FlowCounters;
 
 /// Result of a CVS pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +32,20 @@ pub struct CvsOutcome {
 /// `timing` must be up to date for `net`; it is maintained incrementally
 /// as gates are demoted.
 pub fn cvs(net: &mut Network, lib: &Library, timing: &mut Timing, guard_ns: f64) -> CvsOutcome {
+    let mut counters = FlowCounters::default();
+    cvs_counted(net, lib, timing, guard_ns, &mut counters)
+}
+
+/// [`cvs`] with instrumentation: every demotion bumps `counters` (rail
+/// edits and incremental-STA events). [`crate::FlowSession::run_cvs`] calls
+/// this so session-hosted passes stay fully counted.
+pub(crate) fn cvs_counted(
+    net: &mut Network,
+    lib: &Library,
+    timing: &mut Timing,
+    guard_ns: f64,
+    counters: &mut FlowCounters,
+) -> CvsOutcome {
     let mut lowered = Vec::new();
     for g in net.reverse_topo_order() {
         let node = net.node(g);
@@ -51,7 +66,8 @@ pub fn cvs(net: &mut Network, lib: &Library, timing: &mut Timing, guard_ns: f64)
         debug_assert!(plan.high_sinks.is_empty(), "cluster check failed");
         if demotion_fits(net, timing, &plan, guard_ns) {
             net.set_rail(g, Rail::Low);
-            timing.apply_gate_change(net, lib, g);
+            counters.rail_edits += 1;
+            counters.sta_events += timing.apply_gate_change(net, lib, g) as u64;
             lowered.push(g);
         }
     }

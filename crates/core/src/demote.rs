@@ -125,20 +125,14 @@ impl DemotionPlan {
 /// Uses split required times: paths through surviving direct sinks (and
 /// primary outputs) absorb only the gate's own slowdown; paths through the
 /// new converter also absorb the converter delay.
-pub fn demotion_fits(
-    net: &Network,
-    timing: &Timing,
-    plan: &DemotionPlan,
-    guard_ns: f64,
-) -> bool {
+pub fn demotion_fits(net: &Network, timing: &Timing, plan: &DemotionPlan, guard_ns: f64) -> bool {
     let g = plan.gate;
     let arr_in = timing.arrival_ns(g) - timing.delay_ns(g);
     let is_high_sink = |s: NodeId| plan.high_sinks.contains(&s);
     let req_direct = timing.required_via(net, g, true, |s| !is_high_sink(s));
     let req_conv = timing.required_via(net, g, false, is_high_sink);
     let direct_ok = arr_in + plan.new_delay_ns + guard_ns <= req_direct;
-    let conv_ok =
-        arr_in + plan.new_delay_ns + plan.converter_delay_ns + guard_ns <= req_conv;
+    let conv_ok = arr_in + plan.new_delay_ns + plan.converter_delay_ns + guard_ns <= req_conv;
     direct_ok && conv_ok
 }
 

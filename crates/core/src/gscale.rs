@@ -8,7 +8,7 @@ use dvs_netlist::{Network, NodeId, Rail, SizeIx};
 use dvs_sta::Timing;
 use dvs_synth::total_area;
 
-use crate::cvs::cvs;
+use crate::session::{FlowCounters, FlowSession, TraceEvent};
 use crate::FlowConfig;
 
 /// Result of [`gscale`].
@@ -24,6 +24,9 @@ pub struct GscaleOutcome {
     pub area_before: f64,
     /// Total cell area after sizing.
     pub area_after: f64,
+    /// Instrumentation delta for this phase (zero `hot_rebuilds`; at most
+    /// one rollback — the power fallback to the CVS checkpoint).
+    pub counters: FlowCounters,
 }
 
 /// Weight quantisation: 1 area-unit-per-ns = 10³ flow units.
@@ -50,70 +53,73 @@ const MAX_PUSHES: usize = 5_000;
 /// Stops after `cfg.max_iter` consecutive pushes fail to move the TCB,
 /// when the separator becomes infeasible, or when the area budget
 /// (`cfg.max_area_increase` over the incoming area) is exhausted.
-pub fn gscale(
-    net: &mut Network,
-    lib: &Library,
-    tspec_ns: f64,
-    cfg: &FlowConfig,
-) -> GscaleOutcome {
+pub fn gscale(net: &mut Network, lib: &Library, tspec_ns: f64, cfg: &FlowConfig) -> GscaleOutcome {
+    let owned = std::mem::replace(net, Network::new(""));
+    let mut sess = FlowSession::new(owned, lib, tspec_ns);
+    let out = gscale_session(&mut sess, cfg);
+    *net = sess.into_network();
+    out
+}
+
+/// [`gscale`] running inside an existing [`FlowSession`]: the CVS-phase
+/// snapshot is an O(1) journal checkpoint instead of a whole-network clone,
+/// the power fallback is an O(changes) rollback, and every resize is
+/// absorbed by incremental STA. The returned [`GscaleOutcome::counters`]
+/// cover exactly this call.
+pub fn gscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> GscaleOutcome {
     cfg.assert_valid();
-    let area_before = total_area(net, lib);
+    let entry = *sess.counters();
+    let lib = sess.library();
+    let area_before = total_area(sess.network(), lib);
     let budget = area_before * (1.0 + cfg.max_area_increase);
     let mut area = area_before;
-    let entry_sizes: Vec<SizeIx> = (0..net.node_count())
+    let entry_sizes: Vec<SizeIx> = (0..sess.network().node_count())
         .map(|ix| {
             let id = NodeId::from_index(ix);
-            if net.node(id).is_gate() {
-                net.node(id).size()
+            if sess.network().node(id).is_gate() {
+                sess.network().node(id).size()
             } else {
                 SizeIx(0)
             }
         })
         .collect();
 
-    let mut timing = Timing::analyze(net, lib, tspec_ns);
-    let mut tcb = cvs(net, lib, &mut timing, cfg.guard_ns).tcb;
+    let mut tcb = sess.run_cvs(cfg.guard_ns).tcb;
 
-    // Snapshot the CVS phase: if the sizing campaign ends up spending more
-    // switching capacitance than its unlocked demotions save (possible on
-    // spine-bound circuits — the paper's pcle/i2/i3 rows, where Gscale
-    // reports exactly the CVS result), fall back to it.
-    let cvs_snapshot = net.clone();
-    let cvs_power = crate::report::measure_power(net, lib, cfg);
+    // Checkpoint the CVS phase: if the sizing campaign ends up spending
+    // more switching capacitance than its unlocked demotions save
+    // (possible on spine-bound circuits — the paper's pcle/i2/i3 rows,
+    // where Gscale reports exactly the CVS result), roll back to it.
+    let cvs_checkpoint = sess.checkpoint();
+    let cvs_power = crate::report::measure_power(sess.network(), lib, cfg);
 
     let mut resized: Vec<NodeId> = Vec::new();
-    let mut banned = vec![false; net.node_count()];
+    let mut banned = vec![false; sess.network().node_count()];
     let mut counter = 0usize;
     let mut iterations = 0usize;
 
-    let trace = std::env::var_os("DVS_TRACE").is_some();
     while iterations < MAX_PUSHES && !tcb.is_empty() {
         iterations += 1;
-        let cpn = critical_path_network(net, &timing, &tcb, cfg.guard_ns);
-        let cut = match separator_of(net, lib, &timing, &cpn, &tcb, &banned) {
+        let cpn = critical_path_network(sess.network(), sess.timing(), &tcb, cfg.guard_ns);
+        let cut = match separator_of(sess.network(), lib, sess.timing(), &cpn, &tcb, &banned) {
             Some(c) if !c.is_empty() => c,
-            other => {
-                if trace {
-                    eprintln!(
-                        "[gscale] iter {iterations}: tcb={} cpn={} separator={:?} -> stop",
-                        tcb.len(),
-                        cpn.len(),
-                        other.map(|c| c.len())
-                    );
-                }
+            _ => {
+                sess.emit(TraceEvent::GscaleStop {
+                    iteration: iterations,
+                    reason: "no finite-weight separator",
+                });
                 break; // nothing resizable can speed the boundary up
             }
         };
-        if trace {
-            eprintln!(
-                "[gscale] iter {iterations}: tcb={} cpn={} cut={} area={:.1}/{budget:.1} slack_before={:.4}",
-                tcb.len(),
-                cpn.len(),
-                cut.len(),
-                area,
-                timing.worst_po_slack()
-            );
-        }
+        sess.emit(TraceEvent::GscaleIteration {
+            iteration: iterations,
+            tcb: tcb.len(),
+            cpn: cpn.len(),
+            cut: cut.len(),
+            area,
+            budget,
+            worst_slack_ns: sess.timing().worst_po_slack(),
+        });
 
         // Resize the whole cut as one batch ("simultaneously resize" in
         // the paper): the separator members compensate each other's
@@ -122,7 +128,7 @@ pub fn gscale(
         // afterwards by reverting offenders LIFO.
         let mut applied: Vec<(NodeId, SizeIx, f64)> = Vec::new();
         for g in cut {
-            let node = net.node(g);
+            let node = sess.network().node(g);
             let cell = lib.cell(node.cell());
             let cur = node.size();
             if cur.index() + 1 >= cell.sizes().len() {
@@ -132,18 +138,15 @@ pub fn gscale(
             if area + delta_area > budget {
                 continue;
             }
-            net.set_size(g, SizeIx(cur.0 + 1));
-            timing.apply_gate_change(net, lib, g);
+            sess.set_size(g, SizeIx(cur.0 + 1));
             area += delta_area;
             applied.push((g, cur, delta_area));
         }
-        if trace {
-            eprintln!(
-                "[gscale] iter {iterations}: applied={} slack_after_batch={:.4}",
-                applied.len(),
-                timing.worst_po_slack()
-            );
-        }
+        sess.emit(TraceEvent::GscaleBatch {
+            iteration: iterations,
+            applied: applied.len(),
+            worst_slack_ns: sess.timing().worst_po_slack(),
+        });
         // Repair. The weight model is local, so batch members can injure
         // sibling paths: up-sizing gate `g` loads its fanin `f`, slowing
         // every zero-slack path through `f` that bypasses `g`. Two moves
@@ -152,14 +155,16 @@ pub fn gscale(
         // shared-fanin penalty), or *revert* the offending members and ban
         // them from later separators. Completion is tried first — it is
         // what "simultaneously resize" needs on clone-structured circuits.
-        let mut applied_mask = vec![false; net.node_count()];
+        let mut applied_mask = vec![false; sess.network().node_count()];
         for &(g, _, _) in &applied {
             applied_mask[g.index()] = true;
         }
         let mut repair_rounds = 4 * applied.len() + 8;
-        while !timing.meets_constraint(cfg.guard_ns) && !applied.is_empty() {
+        while !sess.timing().meets_constraint(cfg.guard_ns) && !applied.is_empty() {
             repair_rounds = repair_rounds.saturating_sub(1);
             // trace the worst violating path
+            let net = sess.network();
+            let timing = sess.timing();
             let (_, mut at) = net
                 .primary_outputs()
                 .iter()
@@ -191,7 +196,7 @@ pub fn gscale(
             let mut completed = false;
             if repair_rounds > 0 {
                 for &u in &path {
-                    let node = net.node(u);
+                    let node = sess.network().node(u);
                     if !node.is_gate()
                         || node.rail() == Rail::Low
                         || node.is_converter()
@@ -205,19 +210,20 @@ pub fn gscale(
                     if cur.index() + 1 >= cell.sizes().len() {
                         continue;
                     }
-                    let delta_area =
-                        cell.sizes()[cur.index() + 1].area - cell.size(cur).area;
+                    let delta_area = cell.sizes()[cur.index() + 1].area - cell.size(cur).area;
                     if area + delta_area > budget {
                         continue;
                     }
-                    let shares = net.fanins(u).iter().any(|&f| {
-                        net.fanouts(f).iter().any(|&c| applied_mask[c.index()])
+                    let shares = sess.network().fanins(u).iter().any(|&f| {
+                        sess.network()
+                            .fanouts(f)
+                            .iter()
+                            .any(|&c| applied_mask[c.index()])
                     });
                     if !shares {
                         continue;
                     }
-                    net.set_size(u, SizeIx(cur.0 + 1));
-                    timing.apply_gate_change(net, lib, u);
+                    sess.set_size(u, SizeIx(cur.0 + 1));
                     area += delta_area;
                     applied.push((u, cur, delta_area));
                     applied_mask[u.index()] = true;
@@ -234,10 +240,9 @@ pub fn gscale(
             let mut keep = Vec::with_capacity(applied.len());
             for (g, old, delta_area) in applied.drain(..) {
                 let injures = on_path[g.index()]
-                    || net.fanins(g).iter().any(|f| on_path[f.index()]);
+                    || sess.network().fanins(g).iter().any(|f| on_path[f.index()]);
                 if injures {
-                    net.set_size(g, old);
-                    timing.apply_gate_change(net, lib, g);
+                    sess.set_size(g, old);
                     area -= delta_area;
                     banned[g.index()] = true;
                     applied_mask[g.index()] = false;
@@ -250,17 +255,17 @@ pub fn gscale(
             if !reverted_any {
                 // the violation is not caused by this batch: drop it all
                 for (g, old, delta_area) in applied.drain(..) {
-                    net.set_size(g, old);
-                    timing.apply_gate_change(net, lib, g);
+                    sess.set_size(g, old);
                     area -= delta_area;
                     applied_mask[g.index()] = false;
                 }
             }
         }
         if applied.is_empty() {
-            if trace {
-                eprintln!("[gscale] iter {iterations}: batch fully reverted/blocked");
-            }
+            sess.emit(TraceEvent::GscaleStop {
+                iteration: iterations,
+                reason: "batch fully reverted/blocked",
+            });
             break; // budget exhausted or every resize bounced off timing
         }
         for (g, _, _) in &applied {
@@ -269,7 +274,7 @@ pub fn gscale(
             }
         }
 
-        let tcb_new = cvs(net, lib, &mut timing, cfg.guard_ns).tcb;
+        let tcb_new = sess.run_cvs(cfg.guard_ns).tcb;
         if tcb_new == tcb {
             counter += 1;
         } else {
@@ -286,51 +291,53 @@ pub fn gscale(
     // demotions fail the timing re-check and stay. This keeps the final
     // sizing count (Table 2 `Sizing #`) down to the gates that earn their
     // area, and guarantees Gscale never pays capacitance for nothing.
-    for &g in resized.clone().iter().rev() {
+    // (The loop body never touches `resized` itself, so iterating the list
+    // directly is safe — no defensive clone needed.)
+    for &g in resized.iter().rev() {
         loop {
-            let cur = net.node(g).size();
+            let cur = sess.network().node(g).size();
             if cur.index() == 0 || cur == entry_sizes[g.index()] {
                 break;
             }
             let smaller = SizeIx(cur.0 - 1);
-            if timing.load_pf(g) > lib.max_load_pf(net.node(g).cell(), smaller) {
+            let cell_ref = sess.network().node(g).cell();
+            if sess.timing().load_pf(g) > lib.max_load_pf(cell_ref, smaller) {
                 break; // slew legality: keep the bigger drive
             }
-            let cell = lib.cell(net.node(g).cell());
+            let cell = lib.cell(cell_ref);
             let delta_area = cell.size(cur).area - cell.sizes()[smaller.index()].area;
-            net.set_size(g, smaller);
-            timing.apply_gate_change(net, lib, g);
-            if timing.meets_constraint(cfg.guard_ns) {
+            sess.set_size(g, smaller);
+            if sess.timing().meets_constraint(cfg.guard_ns) {
                 area -= delta_area;
             } else {
-                net.set_size(g, cur);
-                timing.apply_gate_change(net, lib, g);
+                sess.set_size(g, cur);
                 break;
             }
         }
     }
-    resized.retain(|&g| net.node(g).size() != entry_sizes[g.index()]);
+    resized.retain(|&g| sess.network().node(g).size() != entry_sizes[g.index()]);
 
-    if !resized.is_empty() && crate::report::measure_power(net, lib, cfg) > cvs_power {
-        if trace {
-            eprintln!("[gscale] power fallback to the CVS snapshot");
-        }
-        // the sizing campaign lost: revert to the pure CVS cluster
-        *net = cvs_snapshot;
-        area = total_area(net, lib);
+    if !resized.is_empty() && crate::report::measure_power(sess.network(), lib, cfg) > cvs_power {
+        sess.emit(TraceEvent::PowerFallback { phase: "gscale" });
+        // the sizing campaign lost: roll back to the pure CVS cluster
+        sess.rollback(cvs_checkpoint);
+        area = total_area(sess.network(), lib);
         resized.clear();
     }
 
-    let lowered: Vec<NodeId> = net
-        .gate_ids()
-        .filter(|&g| net.node(g).rail() == Rail::Low)
-        .collect();
+    let lowered: Vec<NodeId> = {
+        let net = sess.network();
+        net.gate_ids()
+            .filter(|&g| net.node(g).rail() == Rail::Low)
+            .collect()
+    };
     GscaleOutcome {
         lowered,
         resized,
         iterations,
         area_before,
         area_after: area,
+        counters: sess.counters().since(&entry),
     }
 }
 
@@ -477,6 +484,7 @@ fn upsizing_weight(net: &Network, lib: &Library, timing: &Timing, g: NodeId) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cvs::cvs;
     use dvs_celllib::{compass, VoltagePair};
     use dvs_synth::prepare;
 
@@ -588,6 +596,32 @@ mod tests {
         let mut t = Timing::analyze(&c_net, &lib, p.tspec_ns);
         let c_out = cvs(&mut c_net, &lib, &mut t, cfg.guard_ns);
         assert_eq!(out.lowered.len(), c_out.lowered.len());
+    }
+
+    #[test]
+    fn hot_path_is_rebuild_and_clone_free() {
+        // Acceptance bar for the session refactor: the CVS snapshot is a
+        // journal checkpoint (not a clone), every resize is incremental,
+        // and the only permissible full analysis inside the phase is the
+        // one a power-fallback rollback pays.
+        let lib = lib();
+        let p = prepare(sizable_net(&lib), &lib, 1.2);
+        let mut net = p.network;
+        let cfg = FlowConfig {
+            sim_vectors: 128,
+            ..FlowConfig::default()
+        };
+        let out = gscale(&mut net, &lib, p.tspec_ns, &cfg);
+        assert_eq!(out.counters.hot_rebuilds, 0);
+        assert_eq!(out.counters.checkpoints, 1);
+        assert!(
+            out.counters.rollbacks <= 1,
+            "only the power fallback rolls back"
+        );
+        assert_eq!(out.counters.full_analyses, out.counters.rollbacks);
+        assert!(out.counters.size_edits > 0, "the ladder is sizable");
+        assert_eq!(out.counters.converters_inserted, 0);
+        assert!(out.counters.sta_events > 0);
     }
 
     #[test]

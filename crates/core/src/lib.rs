@@ -24,6 +24,16 @@
 //!   toward the primary inputs under an area budget, re-running CVS after
 //!   every push.
 //!
+//! All three run inside a [`FlowSession`] — the transactional home of the
+//! `(Network, Library, Timing)` triple. The session keeps timing
+//! incrementally consistent through every rail, size and converter edit
+//! (no hot-path rebuilds), provides O(changes) checkpoint/rollback via the
+//! netlist edit journal (no whole-network clones), counts everything it
+//! does in [`FlowCounters`], and emits structured [`TraceEvent`]s instead
+//! of ad-hoc stderr prints. The classic free functions ([`cvs`],
+//! [`dscale`], [`gscale`]) remain as thin wrappers that open a session
+//! internally.
+//!
 //! [`run_circuit`] packages the paper's measurement protocol (same mapped
 //! starting point, independent runs, random-simulation power at 20 MHz)
 //! and [`audit`] re-checks every invariant the algorithms promise.
@@ -53,12 +63,14 @@ mod demote;
 mod dscale;
 mod gscale;
 mod report;
+mod session;
 
 pub use audit::{audit, AuditError};
 pub use config::FlowConfig;
-pub use cputime::{thread_cpu_time, CpuTimer};
+pub use cputime::{thread_cpu_raw_ns, thread_cpu_time, CpuLap, CpuTimer};
 pub use cvs::{cvs, time_critical_boundary, CvsOutcome};
 pub use demote::{demotion_fits, DemotionPlan};
-pub use dscale::{dscale, DscaleOutcome};
-pub use gscale::{gscale, GscaleOutcome};
+pub use dscale::{dscale, dscale_session, DscaleOutcome};
+pub use gscale::{gscale, gscale_session, GscaleOutcome};
 pub use report::{measure_power, run_circuit, AlgoReport, CircuitRun};
+pub use session::{FlowCounters, FlowSession, TraceEvent, TraceHook};

@@ -1,16 +1,18 @@
 //! The paper's measurement protocol: independent runs of the three
 //! algorithms from the same mapped starting point, random-simulation power
-//! at 20 MHz, wall-clock CPU time.
+//! at 20 MHz, per-thread CPU time — all hosted in one transactional
+//! [`FlowSession`] whose checkpoint/rollback replaces the per-algorithm
+//! network clones.
 
 use std::time::Duration;
 
 use dvs_celllib::Library;
 use dvs_netlist::{Network, Rail};
 use dvs_power::{estimate, simulate};
-use dvs_sta::Timing;
 use dvs_synth::{total_area, Prepared};
 
-use crate::{audit, cvs, dscale, gscale, CpuTimer, FlowConfig};
+use crate::session::{FlowCounters, FlowSession};
+use crate::{CpuLap, FlowConfig};
 
 /// Per-algorithm measurement record (one cell of Tables 1 and 2).
 #[derive(Debug, Clone)]
@@ -30,9 +32,16 @@ pub struct AlgoReport {
     /// Fractional area increase (Table 2 `AreaInc`).
     pub area_increase: f64,
     /// CPU time charged to the executing thread (Table 1 `CPU` analogue).
-    /// Measured with a per-thread clock ([`CpuTimer`]) so the column stays
-    /// comparable between sequential runs and loaded worker pools.
+    /// Measured with a telescoping per-thread lap clock ([`CpuLap`]) so
+    /// the column stays comparable between sequential runs and loaded
+    /// worker pools, and so sub-tick phases never lose time at phase
+    /// boundaries.
     pub cpu: Duration,
+    /// Session instrumentation scoped to this algorithm's phase: the
+    /// rollback that restores the pristine network (one `full_analyses`)
+    /// plus everything the algorithm itself did. `hot_rebuilds` is zero by
+    /// construction — the algorithms absorb structural edits incrementally.
+    pub sta: FlowCounters,
 }
 
 /// Full per-circuit record: one row of Tables 1 and 2.
@@ -66,6 +75,7 @@ fn low_logic_gates(net: &Network) -> usize {
         .count()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report(
     net: &Network,
     lib: &Library,
@@ -75,6 +85,7 @@ fn report(
     converters: usize,
     resized: usize,
     cpu: Duration,
+    sta: FlowCounters,
 ) -> AlgoReport {
     let power = measure_power(net, lib, cfg);
     let logic = net.logic_gate_count();
@@ -83,51 +94,76 @@ fn report(
         power_uw: power,
         improvement_pct: (org_pwr - power) / org_pwr * 100.0,
         low_gates: low,
-        low_ratio: if logic == 0 { 0.0 } else { low as f64 / logic as f64 },
+        low_ratio: if logic == 0 {
+            0.0
+        } else {
+            low as f64 / logic as f64
+        },
         converters,
         resized,
         area_increase: (total_area(net, lib) - area_org) / area_org,
         cpu,
+        sta,
     }
 }
 
-/// Runs CVS, `Dscale` and `Gscale` independently on clones of a prepared
-/// circuit and measures everything the paper's two tables report.
+/// Runs CVS, `Dscale` and `Gscale` independently from the same prepared
+/// starting point and measures everything the paper's two tables report.
 ///
-/// Every run is audited ([`audit`]) before measurement; a violated
+/// One [`FlowSession`] hosts all three runs: a journal checkpoint taken on
+/// the pristine mapped network replaces the per-algorithm whole-network
+/// clones of the old protocol, and an O(changes) rollback restores the
+/// starting point between phases. The rollback's single full re-analysis
+/// is billed to the *following* phase's CPU lap — exactly where the old
+/// protocol paid for its clone + from-scratch `Timing::analyze` — so the
+/// CPU columns stay comparable.
+///
+/// Every run is audited ([`crate::audit`]) before measurement; a violated
 /// invariant is a bug, so this panics rather than reporting nonsense.
 ///
 /// # Panics
 ///
 /// Panics if any algorithm breaks a timing/compatibility invariant.
-pub fn run_circuit(
-    name: &str,
-    prepared: &Prepared,
-    lib: &Library,
-    cfg: &FlowConfig,
-) -> CircuitRun {
+pub fn run_circuit(name: &str, prepared: &Prepared, lib: &Library, cfg: &FlowConfig) -> CircuitRun {
     cfg.assert_valid();
     let tspec = prepared.tspec_ns;
     let area_org = total_area(&prepared.network, lib);
     let org_pwr = measure_power(&prepared.network, lib, cfg);
 
-    // CVS
-    let mut cvs_net = prepared.network.clone();
-    let t0 = CpuTimer::start();
-    let mut timing = Timing::analyze(&cvs_net, lib, tspec);
-    let _ = cvs(&mut cvs_net, lib, &mut timing, cfg.guard_ns);
-    let cvs_cpu = t0.elapsed();
-    audit(&cvs_net, lib, tspec, false).expect("CVS broke an invariant");
-    let cvs_rep = report(&cvs_net, lib, cfg, org_pwr, area_org, 0, 0, cvs_cpu);
+    // The protocol's only network copy: everything after runs in-session.
+    let mut sess = FlowSession::new(prepared.network.clone(), lib, tspec);
+    let base = sess.checkpoint();
+
+    // CVS (the session constructor already paid the initial analysis, so
+    // this phase's counter delta contains pure algorithm work)
+    let mut lap = CpuLap::start();
+    let c0 = *sess.counters();
+    let _ = sess.run_cvs(cfg.guard_ns);
+    let cvs_cpu = lap.lap();
+    let cvs_sta = sess.counters().since(&c0);
+    sess.audit(false).expect("CVS broke an invariant");
+    let cvs_rep = report(
+        sess.network(),
+        lib,
+        cfg,
+        org_pwr,
+        area_org,
+        0,
+        0,
+        cvs_cpu,
+        cvs_sta,
+    );
 
     // Dscale
-    let mut d_net = prepared.network.clone();
-    let t0 = CpuTimer::start();
-    let d_out = dscale(&mut d_net, lib, tspec, cfg);
-    let d_cpu = t0.elapsed();
-    audit(&d_net, lib, tspec, true).expect("Dscale broke an invariant");
+    let _ = lap.lap(); // measurement/audit time is nobody's phase
+    let c0 = *sess.counters();
+    sess.rollback(base);
+    let d_out = sess.run_dscale(cfg);
+    let d_cpu = lap.lap();
+    let d_sta = sess.counters().since(&c0);
+    sess.audit(true).expect("Dscale broke an invariant");
     let d_rep = report(
-        &d_net,
+        sess.network(),
         lib,
         cfg,
         org_pwr,
@@ -135,16 +171,19 @@ pub fn run_circuit(
         d_out.converters,
         0,
         d_cpu,
+        d_sta,
     );
 
     // Gscale
-    let mut g_net = prepared.network.clone();
-    let t0 = CpuTimer::start();
-    let g_out = gscale(&mut g_net, lib, tspec, cfg);
-    let g_cpu = t0.elapsed();
-    audit(&g_net, lib, tspec, false).expect("Gscale broke an invariant");
+    let _ = lap.lap();
+    let c0 = *sess.counters();
+    sess.rollback(base);
+    let g_out = sess.run_gscale(cfg);
+    let g_cpu = lap.lap();
+    let g_sta = sess.counters().since(&c0);
+    sess.audit(false).expect("Gscale broke an invariant");
     let g_rep = report(
-        &g_net,
+        sess.network(),
         lib,
         cfg,
         org_pwr,
@@ -152,6 +191,7 @@ pub fn run_circuit(
         0,
         g_out.resized.len(),
         g_cpu,
+        g_sta,
     );
 
     CircuitRun {
@@ -195,5 +235,16 @@ mod tests {
         assert_eq!(run.cvs.converters, 0);
         assert_eq!(run.gscale.converters, 0);
         assert!(run.gscale.area_increase <= cfg.max_area_increase + 1e-6);
+        // session accounting: no phase ever rebuilds timing on its hot
+        // path; full analyses only happen at phase-boundary rollbacks
+        for rep in [&run.cvs, &run.dscale, &run.gscale] {
+            assert_eq!(rep.sta.hot_rebuilds, 0);
+        }
+        assert_eq!(run.cvs.sta.full_analyses, 0);
+        assert_eq!(run.cvs.sta.rollbacks, 0);
+        assert_eq!(run.dscale.sta.rollbacks, 1);
+        assert_eq!(run.dscale.sta.full_analyses, 1);
+        assert!(run.gscale.sta.rollbacks >= 1 && run.gscale.sta.rollbacks <= 2);
+        assert_eq!(run.gscale.sta.full_analyses, run.gscale.sta.rollbacks);
     }
 }

@@ -1,0 +1,599 @@
+//! `FlowSession`: one transactional home for the `(Network, Library,
+//! Timing)` triple every optimization phase operates on.
+//!
+//! Before this layer existed each algorithm carried the triple as loose
+//! arguments, cloned the whole network for checkpoints and called
+//! [`Timing::rebuild`] after structural edits. The session replaces all of
+//! that:
+//!
+//! * **Transactions** — the netlist edit journal
+//!   ([`dvs_netlist::Network::enable_journal`]) makes
+//!   [`FlowSession::checkpoint`] / [`FlowSession::rollback`] cost
+//!   O(changes), not O(network). Rolling back restores the network
+//!   bit-exactly (fanout-list order included) and re-derives timing with
+//!   one full analysis, so post-rollback state is value-identical to the
+//!   pre-refactor clone-and-restore.
+//! * **Incremental structural STA** — [`FlowSession::insert_converter`] and
+//!   [`FlowSession::remove_converter`] patch the cached timing in place
+//!   ([`Timing::apply_converter_insertion`] /
+//!   [`Timing::apply_converter_removal`]); the algorithms never call
+//!   [`Timing::rebuild`] on their hot paths any more.
+//! * **Instrumentation** — every mutation routed through the session bumps
+//!   a [`FlowCounters`] field, so a phase can prove properties like "zero
+//!   hot-path rebuilds" by differencing counters
+//!   ([`FlowCounters::since`]).
+//! * **Structured tracing** — the old `DVS_TRACE` eprintln sites now emit
+//!   typed [`TraceEvent`]s through a swappable hook
+//!   ([`FlowSession::set_trace`]). Setting the `DVS_TRACE` environment
+//!   variable installs a stderr printer that reproduces the old lines.
+
+use dvs_celllib::Library;
+use dvs_netlist::{Checkpoint, Network, NodeId, Rail, SizeIx};
+use dvs_sta::Timing;
+
+use crate::audit::AuditError;
+use crate::cvs::CvsOutcome;
+use crate::demote::DemotionPlan;
+
+/// Monotone per-session instrumentation counters.
+///
+/// Every mutation routed through a [`FlowSession`] increments exactly one
+/// edit counter plus the STA cost it incurred. Phases measure themselves by
+/// snapshotting (the struct is `Copy`) on entry and calling
+/// [`FlowCounters::since`] on exit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowCounters {
+    /// Rail reassignments applied (`set_rail` that changed the value).
+    pub rail_edits: u64,
+    /// Drive-size reassignments applied.
+    pub size_edits: u64,
+    /// Level converters spliced in.
+    pub converters_inserted: u64,
+    /// Level converters bypassed and tombstoned.
+    pub converters_removed: u64,
+    /// Worklist events processed by incremental STA: nodes popped during
+    /// forward/backward re-propagation, summed over every edit.
+    pub sta_events: u64,
+    /// Full from-scratch timing analyses (session construction and each
+    /// rollback). These are the *cold* path; compare with `hot_rebuilds`.
+    pub full_analyses: u64,
+    /// Full timing rebuilds requested while inside a phase's hot loop
+    /// ([`FlowSession::rebuild_timing`]). The refactored algorithms keep
+    /// this at zero — the CI smoke test asserts it.
+    pub hot_rebuilds: u64,
+    /// Structural edits absorbed incrementally that, before the session
+    /// existed, each forced a full [`Timing::rebuild`]. Always equals
+    /// `converters_inserted + converters_removed`.
+    pub rebuilds_avoided: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+}
+
+impl FlowCounters {
+    /// Field-wise difference `self - earlier` (saturating), for scoping a
+    /// phase: snapshot on entry, call `since(entry)` on exit.
+    #[must_use]
+    pub fn since(&self, earlier: &FlowCounters) -> FlowCounters {
+        FlowCounters {
+            rail_edits: self.rail_edits.saturating_sub(earlier.rail_edits),
+            size_edits: self.size_edits.saturating_sub(earlier.size_edits),
+            converters_inserted: self
+                .converters_inserted
+                .saturating_sub(earlier.converters_inserted),
+            converters_removed: self
+                .converters_removed
+                .saturating_sub(earlier.converters_removed),
+            sta_events: self.sta_events.saturating_sub(earlier.sta_events),
+            full_analyses: self.full_analyses.saturating_sub(earlier.full_analyses),
+            hot_rebuilds: self.hot_rebuilds.saturating_sub(earlier.hot_rebuilds),
+            rebuilds_avoided: self
+                .rebuilds_avoided
+                .saturating_sub(earlier.rebuilds_avoided),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            rollbacks: self.rollbacks.saturating_sub(earlier.rollbacks),
+        }
+    }
+}
+
+/// A structured trace event emitted by the optimization phases.
+///
+/// Replaces the former ad-hoc `DVS_TRACE` eprintln lines. Consumers install
+/// a hook with [`FlowSession::set_trace`]; with the `DVS_TRACE` environment
+/// variable set, sessions default to a stderr printer rendering the same
+/// human-readable lines the eprintlns used to produce.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A Gscale boundary-push iteration is about to resize a separator.
+    GscaleIteration {
+        /// 1-based iteration number.
+        iteration: usize,
+        /// Gates on the time-critical boundary.
+        tcb: usize,
+        /// Gates in the critical-path network feeding the TCB.
+        cpn: usize,
+        /// Gates in the chosen min-weight separator.
+        cut: usize,
+        /// Current total cell area.
+        area: f64,
+        /// Area budget (entry area times `1 + max_area_increase`).
+        budget: f64,
+        /// Worst primary-output slack before the batch, ns.
+        worst_slack_ns: f64,
+    },
+    /// A Gscale separator batch has been applied (pre-repair).
+    GscaleBatch {
+        /// 1-based iteration number.
+        iteration: usize,
+        /// Separator members actually up-sized.
+        applied: usize,
+        /// Worst primary-output slack after the batch, ns.
+        worst_slack_ns: f64,
+    },
+    /// A Gscale campaign stopped before the iteration cap.
+    GscaleStop {
+        /// 1-based iteration number at the stop.
+        iteration: usize,
+        /// Human-readable stop reason.
+        reason: &'static str,
+    },
+    /// A phase measured worse power than its baseline and reverted.
+    PowerFallback {
+        /// The phase that fell back (currently always `"gscale"`).
+        phase: &'static str,
+    },
+    /// A checkpoint rollback was performed.
+    Rollback {
+        /// Live pre-checkpoint nodes whose state the rollback touched.
+        nodes_touched: usize,
+    },
+}
+
+/// The trace hook signature: borrows each event, may mutate captured state.
+pub type TraceHook = Box<dyn FnMut(&TraceEvent)>;
+
+fn stderr_trace(ev: &TraceEvent) {
+    match ev {
+        TraceEvent::GscaleIteration {
+            iteration,
+            tcb,
+            cpn,
+            cut,
+            area,
+            budget,
+            worst_slack_ns,
+        } => eprintln!(
+            "[gscale] iter {iteration}: tcb={tcb} cpn={cpn} cut={cut} \
+             area={area:.1}/{budget:.1} slack_before={worst_slack_ns:.4}"
+        ),
+        TraceEvent::GscaleBatch {
+            iteration,
+            applied,
+            worst_slack_ns,
+        } => eprintln!(
+            "[gscale] iter {iteration}: applied={applied} slack_after_batch={worst_slack_ns:.4}"
+        ),
+        TraceEvent::GscaleStop { iteration, reason } => {
+            eprintln!("[gscale] iter {iteration}: {reason} -> stop");
+        }
+        TraceEvent::PowerFallback { phase } => {
+            eprintln!("[{phase}] power fallback to the CVS snapshot");
+        }
+        TraceEvent::Rollback { nodes_touched } => {
+            eprintln!("[session] rollback touched {nodes_touched} nodes");
+        }
+    }
+}
+
+/// A transactional optimization session over one network.
+///
+/// Owns the network and its cached [`Timing`], keeps the two consistent
+/// through every edit, and counts everything it does. See the module docs
+/// for the design rationale and the [`crate`] docs for the algorithms that
+/// run on top.
+pub struct FlowSession<'l> {
+    pub(crate) net: Network,
+    pub(crate) lib: &'l Library,
+    pub(crate) timing: Timing,
+    pub(crate) tspec_ns: f64,
+    pub(crate) counters: FlowCounters,
+    trace: Option<TraceHook>,
+}
+
+impl std::fmt::Debug for FlowSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowSession")
+            .field("network", &self.net.name())
+            .field("nodes", &self.net.node_count())
+            .field("tspec_ns", &self.tspec_ns)
+            .field("counters", &self.counters)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl<'l> FlowSession<'l> {
+    /// Opens a session: enables the edit journal and performs the one full
+    /// timing analysis (counted in [`FlowCounters::full_analyses`]) that
+    /// every subsequent edit keeps incrementally up to date.
+    ///
+    /// With the `DVS_TRACE` environment variable set, a stderr trace
+    /// printer is installed (swap it with [`FlowSession::set_trace`]).
+    pub fn new(mut net: Network, lib: &'l Library, tspec_ns: f64) -> Self {
+        net.enable_journal();
+        let timing = Timing::analyze(&net, lib, tspec_ns);
+        let trace: Option<TraceHook> = std::env::var_os("DVS_TRACE")
+            .is_some()
+            .then(|| Box::new(stderr_trace as fn(&TraceEvent)) as TraceHook);
+        FlowSession {
+            net,
+            lib,
+            timing,
+            tspec_ns,
+            counters: FlowCounters {
+                full_analyses: 1,
+                ..FlowCounters::default()
+            },
+            trace,
+        }
+    }
+
+    /// The network under optimization.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The cell library the session resolves cells against.
+    pub fn library(&self) -> &'l Library {
+        self.lib
+    }
+
+    /// The timing view, always consistent with [`FlowSession::network`].
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// The timing constraint the session was opened with, ns.
+    pub fn tspec_ns(&self) -> f64 {
+        self.tspec_ns
+    }
+
+    /// The session's cumulative instrumentation counters.
+    pub fn counters(&self) -> &FlowCounters {
+        &self.counters
+    }
+
+    /// Installs (or clears) the trace hook. Replaces any previous hook,
+    /// including the `DVS_TRACE` stderr printer.
+    pub fn set_trace(&mut self, hook: Option<TraceHook>) {
+        self.trace = hook;
+    }
+
+    /// Emits a trace event to the installed hook, if any.
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(hook) = self.trace.as_mut() {
+            hook(&ev);
+        }
+    }
+
+    /// Reassigns `g`'s supply rail and incrementally re-times the affected
+    /// cone. Returns the number of STA worklist events processed.
+    pub fn set_rail(&mut self, g: NodeId, rail: Rail) -> usize {
+        self.net.set_rail(g, rail);
+        self.counters.rail_edits += 1;
+        let events = self.timing.apply_gate_change(&self.net, self.lib, g);
+        self.counters.sta_events += events as u64;
+        events
+    }
+
+    /// Reassigns `g`'s drive size and incrementally re-times the affected
+    /// cone. Returns the number of STA worklist events processed.
+    pub fn set_size(&mut self, g: NodeId, size: SizeIx) -> usize {
+        self.net.set_size(g, size);
+        self.counters.size_edits += 1;
+        let events = self.timing.apply_gate_change(&self.net, self.lib, g);
+        self.counters.sta_events += events as u64;
+        events
+    }
+
+    /// Splices a level converter after `driver` over the given `sinks`
+    /// (and the primary outputs it drives when `cover_outputs` is set),
+    /// patching the cached timing in place instead of rebuilding it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`dvs_netlist::NetlistError`] from
+    /// [`Network::insert_converter`]; on error nothing changes.
+    pub fn insert_converter(
+        &mut self,
+        driver: NodeId,
+        sinks: &[NodeId],
+        cover_outputs: bool,
+    ) -> Result<NodeId, dvs_netlist::NetlistError> {
+        let conv = self
+            .net
+            .insert_converter(driver, sinks, cover_outputs, self.lib.converter())?;
+        self.counters.converters_inserted += 1;
+        self.counters.rebuilds_avoided += 1;
+        let events = self
+            .timing
+            .apply_converter_insertion(&self.net, self.lib, conv);
+        self.counters.sta_events += events as u64;
+        Ok(conv)
+    }
+
+    /// Bypasses and tombstones the converter `conv`, patching the cached
+    /// timing in place instead of rebuilding it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`dvs_netlist::NetlistError`] from
+    /// [`Network::remove_converter`]; on error nothing changes.
+    pub fn remove_converter(&mut self, conv: NodeId) -> Result<(), dvs_netlist::NetlistError> {
+        // capture the driver before the splice clears the tombstone's lists
+        let driver = self.net.node(conv).fanins().first().copied();
+        self.net.remove_converter(conv)?;
+        let driver = driver.expect("remove_converter validated a single fanin");
+        self.counters.converters_removed += 1;
+        self.counters.rebuilds_avoided += 1;
+        let events = self
+            .timing
+            .apply_converter_removal(&self.net, self.lib, conv, driver);
+        self.counters.sta_events += events as u64;
+        Ok(())
+    }
+
+    /// Takes an O(1) transaction checkpoint of the current network state.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        self.counters.checkpoints += 1;
+        self.net.checkpoint()
+    }
+
+    /// Rolls the network back to `cp` in O(changes) and re-derives timing
+    /// with one full analysis (counted in [`FlowCounters::full_analyses`],
+    /// *not* `hot_rebuilds` — a rollback is a phase boundary, not a hot
+    /// loop, and the fresh analysis makes post-rollback timing bit-exact
+    /// with a from-scratch run).
+    pub fn rollback(&mut self, cp: Checkpoint) {
+        let touched = self.net.rollback_to(cp);
+        self.timing = Timing::analyze(&self.net, self.lib, self.tspec_ns);
+        self.counters.rollbacks += 1;
+        self.counters.full_analyses += 1;
+        self.emit(TraceEvent::Rollback {
+            nodes_touched: touched.len(),
+        });
+    }
+
+    /// Escape hatch: full timing rebuild *inside* a phase, counted in
+    /// [`FlowCounters::hot_rebuilds`]. The shipped algorithms never call
+    /// this — it exists so experiments can opt out of incrementality while
+    /// the counters keep the cost visible.
+    pub fn rebuild_timing(&mut self) {
+        self.timing.rebuild(&self.net, self.lib);
+        self.counters.hot_rebuilds += 1;
+    }
+
+    /// Runs a [CVS](crate::cvs) pass inside the session, counting each
+    /// demotion's rail edit and STA cost.
+    pub fn run_cvs(&mut self, guard_ns: f64) -> CvsOutcome {
+        let FlowSession {
+            net,
+            lib,
+            timing,
+            counters,
+            ..
+        } = self;
+        crate::cvs::cvs_counted(net, lib, timing, guard_ns, counters)
+    }
+
+    /// Runs the paper's `Dscale` inside the session; see [`crate::dscale`].
+    pub fn run_dscale(&mut self, cfg: &crate::FlowConfig) -> crate::DscaleOutcome {
+        crate::dscale::dscale_session(self, cfg)
+    }
+
+    /// Runs the paper's `Gscale` inside the session; see [`crate::gscale`].
+    pub fn run_gscale(&mut self, cfg: &crate::FlowConfig) -> crate::GscaleOutcome {
+        crate::gscale::gscale_session(self, cfg)
+    }
+
+    /// Builds a [`DemotionPlan`] for `g` against the session's current
+    /// timing, if one exists.
+    pub fn plan_demotion(&self, g: NodeId) -> Option<DemotionPlan> {
+        DemotionPlan::build(&self.net, self.lib, &self.timing, g)
+    }
+
+    /// Audits the session's current assignment against every flow
+    /// invariant; see [`crate::audit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as an [`AuditError`].
+    pub fn audit(&self, allow_converters: bool) -> Result<(), AuditError> {
+        crate::audit::audit(&self.net, self.lib, self.tspec_ns, allow_converters)
+    }
+
+    /// Closes the session, disabling the journal and returning the network.
+    pub fn into_network(mut self) -> Network {
+        self.net.disable_journal();
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_celllib::{compass, VoltagePair};
+
+    fn lib() -> Library {
+        compass::compass_library(VoltagePair::default())
+    }
+
+    fn chain(lib: &Library, n: usize) -> Network {
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("chain");
+        let mut prev = net.add_input("a");
+        for k in 0..n {
+            prev = net.add_gate(format!("g{k}"), inv, &[prev]);
+        }
+        net.add_output("y", prev);
+        net
+    }
+
+    #[test]
+    fn counted_edits_keep_timing_fresh() {
+        let lib = lib();
+        let net = chain(&lib, 6);
+        let nominal = Timing::analyze(&net, &lib, 0.0).critical_delay_ns(&net);
+        let mut sess = FlowSession::new(net, &lib, nominal * 2.0);
+        assert_eq!(sess.counters().full_analyses, 1);
+
+        let g = sess.network().gate_ids().next().unwrap();
+        sess.set_rail(g, Rail::Low);
+        sess.set_size(g, SizeIx(1));
+        let c = sess.counters();
+        assert_eq!(c.rail_edits, 1);
+        assert_eq!(c.size_edits, 1);
+        assert!(c.sta_events > 0);
+        assert_eq!(c.hot_rebuilds, 0);
+
+        let fresh = Timing::analyze(sess.network(), &lib, sess.tspec_ns());
+        for id in sess.network().node_ids() {
+            assert!((sess.timing().arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn converter_splices_are_incremental_and_counted() {
+        let lib = lib();
+        let net = chain(&lib, 5);
+        let nominal = Timing::analyze(&net, &lib, 0.0).critical_delay_ns(&net);
+        let mut sess = FlowSession::new(net, &lib, nominal * 3.0);
+        let gates: Vec<NodeId> = sess.network().gate_ids().collect();
+        let driver = gates[1];
+        let sink = gates[2];
+
+        sess.set_rail(driver, Rail::Low);
+        let conv = sess.insert_converter(driver, &[sink], false).unwrap();
+        assert_eq!(sess.counters().converters_inserted, 1);
+        assert_eq!(sess.counters().rebuilds_avoided, 1);
+
+        let fresh = Timing::analyze(sess.network(), &lib, sess.tspec_ns());
+        assert!((sess.timing().arrival_ns(sink) - fresh.arrival_ns(sink)).abs() < 1e-9);
+
+        sess.remove_converter(conv).unwrap();
+        assert_eq!(sess.counters().converters_removed, 1);
+        assert_eq!(sess.counters().rebuilds_avoided, 2);
+        assert_eq!(
+            sess.counters().rebuilds_avoided,
+            sess.counters().converters_inserted + sess.counters().converters_removed
+        );
+        let fresh = Timing::analyze(sess.network(), &lib, sess.tspec_ns());
+        assert!((sess.timing().arrival_ns(sink) - fresh.arrival_ns(sink)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollback_restores_network_and_retimes() {
+        let lib = lib();
+        let net = chain(&lib, 6);
+        let nominal = Timing::analyze(&net, &lib, 0.0).critical_delay_ns(&net);
+        let mut sess = FlowSession::new(net, &lib, nominal * 2.0);
+        let reference = sess.network().clone();
+
+        let cp = sess.checkpoint();
+        let gates: Vec<NodeId> = sess.network().gate_ids().collect();
+        sess.set_rail(gates[4], Rail::Low);
+        sess.set_rail(gates[3], Rail::Low);
+        sess.insert_converter(gates[0], &[gates[1]], false).unwrap();
+        sess.rollback(cp);
+
+        assert_eq!(sess.network().node_count(), reference.node_count());
+        for id in reference.node_ids() {
+            assert_eq!(sess.network().node(id), reference.node(id));
+        }
+        let c = sess.counters();
+        assert_eq!((c.checkpoints, c.rollbacks), (1, 1));
+        assert_eq!(c.full_analyses, 2); // construction + rollback
+        assert_eq!(c.hot_rebuilds, 0);
+
+        let fresh = Timing::analyze(sess.network(), &lib, sess.tspec_ns());
+        for id in sess.network().node_ids() {
+            assert!((sess.timing().arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_hook_receives_events() {
+        let lib = lib();
+        let net = chain(&lib, 4);
+        let mut sess = FlowSession::new(net, &lib, 100.0);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        sess.set_trace(Some(Box::new(move |ev: &TraceEvent| {
+            sink.borrow_mut().push(format!("{ev:?}"));
+        })));
+        let cp = sess.checkpoint();
+        let g = sess.network().gate_ids().next().unwrap();
+        sess.set_rail(g, Rail::Low);
+        sess.rollback(cp);
+        let events = seen.borrow();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].contains("Rollback"));
+    }
+
+    #[test]
+    fn into_network_disables_journal() {
+        let lib = lib();
+        let sess = FlowSession::new(chain(&lib, 3), &lib, 100.0);
+        let net = sess.into_network();
+        assert!(!net.journal_enabled());
+    }
+
+    #[test]
+    fn counters_since_is_a_field_wise_difference() {
+        let a = FlowCounters {
+            rail_edits: 5,
+            sta_events: 100,
+            full_analyses: 2,
+            ..FlowCounters::default()
+        };
+        let b = FlowCounters {
+            rail_edits: 2,
+            sta_events: 30,
+            full_analyses: 1,
+            ..FlowCounters::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.rail_edits, 3);
+        assert_eq!(d.sta_events, 70);
+        assert_eq!(d.full_analyses, 1);
+        assert_eq!(d.size_edits, 0);
+    }
+
+    #[test]
+    fn failed_structural_edit_leaves_counters_untouched() {
+        let lib = lib();
+        let net = chain(&lib, 3);
+        let mut sess = FlowSession::new(net, &lib, 100.0);
+        let g = sess.network().gate_ids().next().unwrap();
+        assert!(sess.insert_converter(g, &[], false).is_err());
+        assert!(sess.remove_converter(g).is_err());
+        let c = sess.counters();
+        assert_eq!(c.converters_inserted, 0);
+        assert_eq!(c.converters_removed, 0);
+        assert_eq!(c.rebuilds_avoided, 0);
+    }
+
+    #[test]
+    fn plan_demotion_matches_free_function() {
+        let lib = lib();
+        let net = chain(&lib, 5);
+        let nominal = Timing::analyze(&net, &lib, 0.0).critical_delay_ns(&net);
+        let sess = FlowSession::new(net, &lib, nominal * 2.0);
+        let g = sess.network().gate_ids().last().unwrap();
+        let a = sess.plan_demotion(g);
+        let b = DemotionPlan::build(sess.network(), &lib, sess.timing(), g);
+        assert_eq!(a.is_some(), b.is_some());
+    }
+}

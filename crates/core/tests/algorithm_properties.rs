@@ -2,9 +2,7 @@
 //! situations the paper's prose describes, encoded as assertions.
 
 use dvs_celllib::{compass, Library, VoltagePair};
-use dvs_core::{
-    cvs, dscale, gscale, measure_power, time_critical_boundary, FlowConfig,
-};
+use dvs_core::{cvs, dscale, gscale, measure_power, time_critical_boundary, FlowConfig};
 use dvs_netlist::{Network, NodeId, Rail};
 use dvs_power::dc_leakage;
 use dvs_sta::Timing;
@@ -210,7 +208,10 @@ fn wide_voltage_gap_saves_more_per_gate() {
     };
     let mild = shallow(VoltagePair::new(5.0, 4.6));
     let deep = shallow(VoltagePair::new(5.0, 3.0));
-    assert!(deep < mild, "3.0 V must burn less than 4.6 V: {deep} vs {mild}");
+    assert!(
+        deep < mild,
+        "3.0 V must burn less than 4.6 V: {deep} vs {mild}"
+    );
 }
 
 /// The TCB definition from the paper, condition by condition.

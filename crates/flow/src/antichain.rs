@@ -61,8 +61,7 @@ pub fn max_weight_antichain(
     //   u_out→v_in : cap ∞, flow 0     ⇒ residual (∞, 0)
     let mut g = FlowGraph::new(2 * n + 2);
     let mut total: u64 = 0;
-    for v in 0..n {
-        let w = weights[v];
+    for (v, &w) in weights.iter().enumerate() {
         total += w;
         g.add_edge_with_reverse(s, v_in(v), INF, w);
         g.add_edge_with_reverse(v_in(v), v_out(v), INF, 0);
@@ -149,7 +148,8 @@ mod tests {
 
     #[test]
     fn result_is_antichain_and_matches_oracle_on_fixed_cases() {
-        let cases: &[(usize, Vec<(usize, usize)>, Vec<u64>)] = &[
+        type Case = (usize, Vec<(usize, usize)>, Vec<u64>);
+        let cases: &[Case] = &[
             (5, vec![(0, 2), (1, 2), (2, 3), (2, 4)], vec![5, 4, 8, 3, 3]),
             (
                 6,

@@ -14,11 +14,14 @@ pub fn closure(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
         reach[u][v] = true;
     }
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    if reach[k][j] {
-                        reach[i][j] = true;
+        // row k cannot gain new bits during its own iteration, so a
+        // snapshot keeps the in-place update borrow-clean
+        let row_k = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (j, &r) in row_k.iter().enumerate() {
+                    if r {
+                        row[j] = true;
                     }
                 }
             }

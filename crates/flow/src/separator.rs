@@ -198,7 +198,7 @@ mod tests {
         let r = solve(7, &edges, &weights, &[0, 1], &[6]).unwrap();
         // removing r.nodes must disconnect sources from sinks
         let blocked: Vec<bool> = (0..7).map(|v| r.nodes.contains(&v)).collect();
-        let mut reach = vec![false; 7];
+        let mut reach = [false; 7];
         let mut stack: Vec<usize> = [0usize, 1]
             .iter()
             .copied()

@@ -72,9 +72,9 @@ proptest! {
         inf_mask in 0u32..64,
     ) {
         let mut weights: Vec<u64> = seed_weights[..n].to_vec();
-        for v in 0..n.min(6) {
+        for (v, w) in weights.iter_mut().enumerate().take(n.min(6)) {
             if inf_mask >> v & 1 == 1 {
-                weights[v] = INF;
+                *w = INF;
             }
         }
         let sources: Vec<usize> =
@@ -128,9 +128,9 @@ proptest! {
             net_flow[*u] -= f;
             net_flow[*v] += f;
         }
-        for v in 0..n {
+        for (v, &f) in net_flow.iter().enumerate() {
             if v != s && v != t {
-                prop_assert_eq!(net_flow[v], 0, "conservation at {}", v);
+                prop_assert_eq!(f, 0, "conservation at {}", v);
             }
         }
     }

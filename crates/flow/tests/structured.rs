@@ -67,8 +67,8 @@ fn separator_routes_around_an_inf_wall_with_a_gap() {
     // level and must cut elsewhere; verify against brute force.
     let (n, edges) = grid(4, 4);
     let mut weights: Vec<u64> = vec![3; n];
-    for i in 8..12 {
-        weights[i] = INF;
+    for w in &mut weights[8..12] {
+        *w = INF;
     }
     weights[9] = 1; // a gap in the wall — but its siblings stay INF
     let sources: Vec<usize> = (0..4).collect();
@@ -83,7 +83,9 @@ fn separator_routes_around_an_inf_wall_with_a_gap() {
     .unwrap();
     let (want, _) = oracle::brute_separator(n, &edges, &weights, &sources, &sinks).unwrap();
     assert_eq!(got.weight, want);
-    assert!(oracle::is_separator(n, &edges, &sources, &sinks, &got.nodes));
+    assert!(oracle::is_separator(
+        n, &edges, &sources, &sinks, &got.nodes
+    ));
 }
 
 #[test]

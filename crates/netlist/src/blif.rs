@@ -279,11 +279,9 @@ fn build_network(
     }
 
     for name in &outputs {
-        let id = net
-            .find(name)
-            .ok_or_else(|| NetlistError::DanglingOutput {
-                output: name.clone(),
-            })?;
+        let id = net.find(name).ok_or_else(|| NetlistError::DanglingOutput {
+            output: name.clone(),
+        })?;
         net.add_output(id);
     }
     Ok(net)
@@ -386,11 +384,7 @@ mod tests {
         let s1 = net.find("sum").unwrap();
         let s2 = again.find("sum").unwrap();
         for pattern in 0..8u8 {
-            let bits = [
-                pattern & 1 != 0,
-                pattern & 2 != 0,
-                pattern & 4 != 0,
-            ];
+            let bits = [pattern & 1 != 0, pattern & 2 != 0, pattern & 4 != 0];
             assert_eq!(
                 net.eval(&bits)[s1.index()],
                 again.eval(&bits)[s2.index()],
@@ -522,7 +516,8 @@ mod tests {
 
     #[test]
     fn comments_are_stripped() {
-        let text = "# header\n.model c # trailing\n.inputs a\n.outputs y\n.names a y # copy\n1 1\n.end\n";
+        let text =
+            "# header\n.model c # trailing\n.inputs a\n.outputs y\n.names a y # copy\n1 1\n.end\n";
         let net = parse(text).unwrap();
         assert_eq!(net.name(), "c");
     }

@@ -17,6 +17,10 @@
 //! Shared utilities: topological ordering ([`Network::topo_order`]), logic
 //! levels, reachability bitsets ([`ReachMatrix`]), in-place rewiring used for
 //! level-converter insertion/removal, structural validation and statistics.
+//! All flow-facing mutations can additionally be recorded in an invertible
+//! edit journal ([`Network::enable_journal`]), giving O(changes)
+//! [`Network::checkpoint`] / [`Network::rollback_to`] transactions instead of
+//! whole-network clone snapshots.
 //!
 //! # Example
 //!
@@ -45,6 +49,7 @@
 pub mod blif;
 mod dot;
 mod error;
+mod journal;
 mod network;
 mod reach;
 mod rewire;
@@ -54,6 +59,7 @@ mod topo;
 mod validate;
 
 pub use error::NetlistError;
+pub use journal::Checkpoint;
 pub use network::{CellRef, Network, Node, NodeId, NodeKind, Rail, SizeIx};
 pub use reach::{ReachMatrix, SubsetReach};
 pub use sop::{Cube, SopCover, SopNetwork, SopNode, SopNodeId};

@@ -112,12 +112,12 @@ pub enum NodeKind {
 /// A node of a mapped [`Network`]: a primary input or a gate instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
-    name: String,
-    kind: NodeKind,
-    size: SizeIx,
-    rail: Rail,
-    converter: bool,
-    dead: bool,
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) size: SizeIx,
+    pub(crate) rail: Rail,
+    pub(crate) converter: bool,
+    pub(crate) dead: bool,
 }
 
 impl Node {
@@ -197,14 +197,16 @@ impl Node {
 /// incrementally and are always consistent with fanin lists.
 #[derive(Debug, Clone)]
 pub struct Network {
-    name: String,
-    nodes: Vec<Node>,
-    fanouts: Vec<Vec<NodeId>>,
-    inputs: Vec<NodeId>,
-    outputs: Vec<(String, NodeId)>,
-    by_name: BTreeMap<String, NodeId>,
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) fanouts: Vec<Vec<NodeId>>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<(String, NodeId)>,
+    pub(crate) by_name: BTreeMap<String, NodeId>,
     /// Number of live (non-tombstone) gate nodes, cached.
-    live_gates: usize,
+    pub(crate) live_gates: usize,
+    /// Invertible edit journal; `None` until [`Network::enable_journal`].
+    pub(crate) journal: Option<Vec<crate::journal::EditOp>>,
 }
 
 impl Network {
@@ -218,6 +220,7 @@ impl Network {
             outputs: Vec::new(),
             by_name: BTreeMap::new(),
             live_gates: 0,
+            journal: None,
         }
     }
 
@@ -264,7 +267,12 @@ impl Network {
     /// # Panics
     ///
     /// Panics if any fanin id is out of range.
-    pub fn add_gate(&mut self, name: impl Into<String>, cell: CellRef, fanins: &[NodeId]) -> NodeId {
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        cell: CellRef,
+        fanins: &[NodeId],
+    ) -> NodeId {
         for &f in fanins {
             assert!(f.index() < self.nodes.len(), "fanin {f} out of range");
         }
@@ -336,10 +344,7 @@ impl Network {
 
     /// Number of live level-converter instances.
     pub fn converter_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| !n.dead && n.converter)
-            .count()
+        self.nodes.iter().filter(|n| !n.dead && n.converter).count()
     }
 
     /// Number of primary inputs.
@@ -388,7 +393,11 @@ impl Network {
     pub fn set_rail(&mut self, id: NodeId, rail: Rail) {
         let node = &mut self.nodes[id.index()];
         assert!(node.is_gate() && !node.dead, "set_rail on non-gate {id}");
+        let old = node.rail;
         node.rail = rail;
+        if old != rail {
+            self.record(crate::journal::EditOp::SetRail { id, old });
+        }
     }
 
     /// Sets the drive-size index of gate `id`.
@@ -401,7 +410,11 @@ impl Network {
     pub fn set_size(&mut self, id: NodeId, size: SizeIx) {
         let node = &mut self.nodes[id.index()];
         assert!(node.is_gate() && !node.dead, "set_size on non-gate {id}");
+        let old = node.size;
         node.size = size;
+        if old != size {
+            self.record(crate::journal::EditOp::SetSize { id, old });
+        }
     }
 
     pub(crate) fn mark_converter(&mut self, id: NodeId) {

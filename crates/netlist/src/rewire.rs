@@ -34,11 +34,7 @@ impl Network {
             }
             // `retain` above removed *all* entries for `node`; re-add the
             // pins that still reference `old` (multi-pin connections).
-            let still = self
-                .fanins(node)
-                .iter()
-                .filter(|&&f| f == old)
-                .count();
+            let still = self.fanins(node).iter().filter(|&&f| f == old).count();
             for _ in 0..still {
                 self.fanouts_mut(old).push(node);
             }
@@ -87,6 +83,20 @@ impl Network {
                 });
             }
         }
+        // Snapshot the exact pre-edit state of everything the splice will
+        // touch so the journal can restore it verbatim (list order
+        // included) on rollback.
+        let snapshot = self.journal_enabled().then(|| {
+            let driver_fanouts = self.fanouts(driver).to_vec();
+            let mut sink_fanins: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+            for &s in sinks {
+                if !sink_fanins.iter().any(|(t, _)| *t == s) {
+                    sink_fanins.push((s, self.fanins(s).to_vec()));
+                }
+            }
+            (driver_fanouts, sink_fanins)
+        });
+        let journal = self.journal.take(); // suppress inner per-edit deltas
         let name = self.fresh_name("lc_");
         let conv = self.add_gate(name, cell, &[driver]);
         self.mark_converter(conv);
@@ -94,13 +104,25 @@ impl Network {
         for &s in sinks {
             self.replace_fanin(s, driver, conv);
         }
+        let mut moved_outputs = Vec::new();
         if cover_outputs {
             let drv = driver;
-            for out in self.outputs_mut().iter_mut() {
+            for (ix, out) in self.outputs_mut().iter_mut().enumerate() {
                 if out.1 == drv {
                     out.1 = conv;
+                    moved_outputs.push(ix);
                 }
             }
+        }
+        self.journal = journal;
+        if let Some((driver_fanouts, sink_fanins)) = snapshot {
+            self.record(crate::journal::EditOp::InsertConverter {
+                conv,
+                driver,
+                driver_fanouts,
+                sink_fanins,
+                moved_outputs,
+            });
         }
         Ok(conv)
     }
@@ -120,19 +142,44 @@ impl Network {
             });
         }
         let driver = node.fanins()[0];
+        let snapshot = self.journal_enabled().then(|| {
+            let conv_fanouts = self.fanouts(conv).to_vec();
+            let driver_fanouts = self.fanouts(driver).to_vec();
+            let mut sink_fanins: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+            for &s in self.fanouts(conv) {
+                if !sink_fanins.iter().any(|(t, _)| *t == s) {
+                    sink_fanins.push((s, self.fanins(s).to_vec()));
+                }
+            }
+            (conv_fanouts, driver_fanouts, sink_fanins)
+        });
+        let journal = self.journal.take(); // suppress inner per-edit deltas
         let sinks: Vec<NodeId> = self.fanouts(conv).to_vec();
         for s in sinks {
             self.replace_fanin(s, conv, driver);
         }
-        for out in self.outputs_mut().iter_mut() {
+        let mut moved_outputs = Vec::new();
+        for (ix, out) in self.outputs_mut().iter_mut().enumerate() {
             if out.1 == conv {
                 out.1 = driver;
+                moved_outputs.push(ix);
             }
         }
         // Detach from the driver's fanout list and tombstone.
         self.fanouts_mut(driver).retain(|&x| x != conv);
         self.fanouts_mut(conv).clear();
         self.kill(conv);
+        self.journal = journal;
+        if let Some((conv_fanouts, driver_fanouts, sink_fanins)) = snapshot {
+            self.record(crate::journal::EditOp::RemoveConverter {
+                conv,
+                driver,
+                conv_fanouts,
+                driver_fanouts,
+                sink_fanins,
+                moved_outputs,
+            });
+        }
         Ok(())
     }
 }

@@ -35,7 +35,7 @@ impl Cube {
         self.0
             .iter()
             .zip(inputs)
-            .all(|(lit, &v)| lit.map_or(true, |want| want == v))
+            .all(|(lit, &v)| lit.is_none_or(|want| want == v))
     }
 }
 
@@ -258,8 +258,7 @@ impl SopNetwork {
                 fanouts[f.index()].push(id);
             }
         }
-        let mut queue: Vec<SopNodeId> =
-            self.node_ids().filter(|i| indeg[i.index()] == 0).collect();
+        let mut queue: Vec<SopNodeId> = self.node_ids().filter(|i| indeg[i.index()] == 0).collect();
         let mut head = 0;
         let mut order = Vec::with_capacity(n);
         while head < queue.len() {
@@ -350,10 +349,7 @@ mod tests {
         let a = net.add_input("a").unwrap();
         let b = net.add_input("b").unwrap();
         let cover = SopCover {
-            cubes: vec![
-                Cube(vec![Some(true), None]),
-                Cube(vec![None, Some(true)]),
-            ],
+            cubes: vec![Cube(vec![Some(true), None]), Cube(vec![None, Some(true)])],
             complemented: true,
         };
         let g = net.add_logic("g", vec![a, b], cover).unwrap();

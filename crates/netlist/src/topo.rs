@@ -1,4 +1,4 @@
-use crate::{Network, NetlistError, NodeId};
+use crate::{NetlistError, Network, NodeId};
 
 /// Logic levels of a network: the length (in gates) of the longest path from
 /// any primary input to each node.

@@ -20,10 +20,8 @@ fn network_strategy() -> impl Strategy<Value = Network> {
                 let arity = (*arity as usize).min(pool.len());
                 let mut fanins = Vec::with_capacity(arity);
                 for pin in 0..arity {
-                    let pick = (*seed as usize)
-                        .wrapping_mul(31)
-                        .wrapping_add(pin * 17)
-                        % pool.len();
+                    let pick =
+                        (*seed as usize).wrapping_mul(31).wrapping_add(pin * 17) % pool.len();
                     fanins.push(pool[pick]);
                 }
                 fanins.dedup();
@@ -125,6 +123,63 @@ proptest! {
         for (s, before) in sinks.iter().zip(fanins_before) {
             prop_assert_eq!(net.fanins(*s), &before[..]);
         }
+    }
+
+    #[test]
+    fn journaled_edit_sequences_roll_back_exactly(
+        net in network_strategy(),
+        ops in proptest::collection::vec((any::<u32>(), 0u8..4), 1..24),
+    ) {
+        let mut net = net;
+        net.enable_journal();
+        let reference = net.clone();
+        let cp = net.checkpoint();
+        let mut converters: Vec<NodeId> = Vec::new();
+        for (seed, kind) in ops {
+            let gates: Vec<NodeId> = net.gate_ids().collect();
+            if gates.is_empty() { break; }
+            let g = gates[seed as usize % gates.len()];
+            match kind {
+                0 => net.set_rail(g, if seed % 2 == 0 {
+                    dvs_netlist::Rail::Low
+                } else {
+                    dvs_netlist::Rail::High
+                }),
+                1 => net.set_size(g, dvs_netlist::SizeIx((seed % 3) as u8)),
+                2 => {
+                    let sinks: Vec<NodeId> = {
+                        let mut s = net.fanouts(g).to_vec();
+                        s.sort_unstable();
+                        s.dedup();
+                        s
+                    };
+                    if !sinks.is_empty() && !net.node(g).is_converter() {
+                        let conv = net
+                            .insert_converter(g, &sinks, seed % 2 == 0, CellRef(99))
+                            .unwrap();
+                        converters.push(conv);
+                    }
+                }
+                _ => {
+                    if let Some(conv) = converters.pop() {
+                        net.remove_converter(conv).unwrap();
+                    }
+                }
+            }
+            prop_assert!(net.validate(None).is_ok());
+        }
+        net.rollback_to(cp);
+        prop_assert!(net.validate(None).is_ok());
+        // exact restoration of every node slot, list orders included
+        prop_assert_eq!(net.node_count(), reference.node_count());
+        prop_assert_eq!(net.gate_count(), reference.gate_count());
+        for ix in 0..net.node_count() {
+            let id = NodeId::from_index(ix);
+            prop_assert_eq!(net.node(id), reference.node(id));
+            prop_assert_eq!(net.fanouts(id), reference.fanouts(id));
+        }
+        prop_assert_eq!(net.primary_outputs(), reference.primary_outputs());
+        prop_assert_eq!(net.edge_count(), reference.edge_count());
     }
 
     #[test]

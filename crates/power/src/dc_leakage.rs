@@ -103,7 +103,13 @@ mod tests {
         let (mut net, lib, g1, g2) = fixture(VoltagePair::default());
         net.set_rail(g1, Rail::Low);
         let found = crossings(&net);
-        assert_eq!(found, vec![Crossing { driver: g1, sink: g2 }]);
+        assert_eq!(
+            found,
+            vec![Crossing {
+                driver: g1,
+                sink: g2
+            }]
+        );
         let acts = simulate(&net, &lib, 2048, 1);
         assert!(dc_leakage_uw(&net, &lib, &acts) > 0.0);
     }
@@ -112,7 +118,8 @@ mod tests {
     fn restoration_removes_the_penalty() {
         let (mut net, lib, g1, g2) = fixture(VoltagePair::default());
         net.set_rail(g1, Rail::Low);
-        net.insert_converter(g1, &[g2], false, lib.converter()).unwrap();
+        net.insert_converter(g1, &[g2], false, lib.converter())
+            .unwrap();
         assert!(crossings(&net).is_empty());
     }
 

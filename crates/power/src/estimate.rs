@@ -145,7 +145,8 @@ mod tests {
         let lib = lib();
         let (mut net, g1, g2) = two_stage(&lib);
         net.set_rail(g1, Rail::Low);
-        net.insert_converter(g1, &[g2], false, lib.converter()).unwrap();
+        net.insert_converter(g1, &[g2], false, lib.converter())
+            .unwrap();
         let acts = simulate(&net, &lib, 2048, 5);
         let p = estimate(&net, &lib, &acts, 20.0);
         assert!(p.converter_uw > 0.0);
@@ -180,7 +181,8 @@ mod tests {
         let (mut net, g1, g2) = two_stage(&lib);
         let acts = simulate(&net, &lib, 256, 5);
         net.set_rail(g1, Rail::Low);
-        net.insert_converter(g1, &[g2], false, lib.converter()).unwrap();
+        net.insert_converter(g1, &[g2], false, lib.converter())
+            .unwrap();
         let _ = estimate(&net, &lib, &acts, 20.0);
     }
 

@@ -150,7 +150,12 @@ pub fn simulate_with_probs(
             let used = if w + 1 == words { tail_bits } else { 64 };
             ones += v.count_ones() as u64;
             // within-word 0→1 transitions between vector b and b+1
-            let pairs = (!v & (v >> 1)) & if used == 64 { !0 >> 1 } else { (1u64 << (used - 1)) - 1 };
+            let pairs = (!v & (v >> 1))
+                & if used == 64 {
+                    !0 >> 1
+                } else {
+                    (1u64 << (used - 1)) - 1
+                };
             transitions += pairs.count_ones() as u64;
             // across the word boundary
             if let Some(last) = prev_last {
@@ -204,7 +209,11 @@ mod tests {
         let g = net.add_gate("g", lib.find("BUF").unwrap(), &[a]);
         net.add_output("y", g);
         let acts = simulate(&net, &lib, 16384, 9);
-        assert!((acts.switching(a) - 0.25).abs() < 0.02, "{}", acts.switching(a));
+        assert!(
+            (acts.switching(a) - 0.25).abs() < 0.02,
+            "{}",
+            acts.switching(a)
+        );
         assert!((acts.switching(g) - acts.switching(a)).abs() < 1e-12);
     }
 
@@ -237,7 +246,9 @@ mod tests {
             assert_eq!(a1.one_prob(id), a2.one_prob(id));
         }
         let a3 = simulate(&net, &lib, 512, 43);
-        assert!(net.node_ids().any(|id| a1.switching(id) != a3.switching(id)));
+        assert!(net
+            .node_ids()
+            .any(|id| a1.switching(id) != a3.switching(id)));
     }
 
     #[test]
@@ -296,7 +307,9 @@ mod tests {
         let g = net.add_gate("g", lib.find("INV").unwrap(), &[a]);
         let s = net.add_gate("s", lib.find("INV").unwrap(), &[g]);
         net.add_output("y", s);
-        let conv = net.insert_converter(g, &[s], false, lib.converter()).unwrap();
+        let conv = net
+            .insert_converter(g, &[s], false, lib.converter())
+            .unwrap();
         let acts = simulate(&net, &lib, 2048, 17);
         assert_eq!(acts.switching(conv), acts.switching(g));
         assert_eq!(acts.one_prob(conv), acts.one_prob(g));

@@ -12,9 +12,11 @@ const EPS: f64 = 1e-12;
 /// Arrival/required/slack view of a network under a timing constraint.
 ///
 /// Built by [`Timing::analyze`] in `O(n + e)`; kept consistent under gate
-/// attribute changes by [`Timing::apply_gate_change`] (worklist propagation
-/// touching only the affected cones) and under structural edits by
-/// [`Timing::rebuild`].
+/// attribute changes by [`Timing::apply_gate_change`] and under the flow's
+/// structural edits by [`Timing::apply_converter_insertion`] /
+/// [`Timing::apply_converter_removal`] — all three are worklist
+/// propagations touching only the affected cones, so hot loops never need
+/// the from-scratch [`Timing::rebuild`].
 #[derive(Debug, Clone)]
 pub struct Timing {
     tspec_ns: f64,
@@ -157,7 +159,13 @@ impl Timing {
     /// `Dscale` uses this to split a candidate's timing budget between the
     /// fanouts that stay on the high rail (which will see an extra level
     /// converter) and those that do not.
-    pub fn required_via<F>(&self, net: &Network, node: NodeId, include_po: bool, keep_sink: F) -> f64
+    pub fn required_via<F>(
+        &self,
+        net: &Network,
+        node: NodeId,
+        include_po: bool,
+        keep_sink: F,
+    ) -> f64
     where
         F: Fn(NodeId) -> bool,
     {
@@ -180,11 +188,17 @@ impl Timing {
     /// until quiescence.
     ///
     /// Call after flipping a gate's rail ([`Network::set_rail`]) or size
-    /// ([`Network::set_size`]). For structural edits use
-    /// [`Timing::rebuild`].
-    pub fn apply_gate_change(&mut self, net: &Network, lib: &Library, changed: NodeId) {
+    /// ([`Network::set_size`]). For converter insertion/removal use
+    /// [`Timing::apply_converter_insertion`] /
+    /// [`Timing::apply_converter_removal`].
+    ///
+    /// Returns the number of node recomputations performed (load/delay
+    /// re-derivations plus worklist arrival/required evaluations) — the
+    /// instrumentation currency the flow layer reports as "STA events".
+    pub fn apply_gate_change(&mut self, net: &Network, lib: &Library, changed: NodeId) -> usize {
         let mut touched = vec![changed];
         touched.extend_from_slice(net.fanins(changed));
+        let mut events = touched.len();
         let mut delay_moved = Vec::new();
         for &id in &touched {
             let new_load = load_pf(net, lib, id, &self.po_sinks);
@@ -197,7 +211,7 @@ impl Timing {
                 delay_moved.push(id);
             }
         }
-        self.propagate_forward(net, delay_moved.iter().copied());
+        events += self.propagate_forward(net, delay_moved.iter().copied());
         // Required times of the moved gates' fanins depend on the moved
         // delays; seed the backward pass with those fanins plus the moved
         // nodes themselves (whose own required may change via fanouts —
@@ -208,14 +222,105 @@ impl Timing {
             seeds.push(id);
             seeds.extend_from_slice(net.fanins(id));
         }
-        self.propagate_backward(net, seeds.into_iter());
+        events + self.propagate_backward(net, seeds.into_iter())
     }
 
-    fn propagate_forward(&mut self, net: &Network, seeds: impl Iterator<Item = NodeId>) {
+    /// Incrementally absorbs a [`Network::insert_converter`] edit: grows the
+    /// per-node tables for the new gate, grafts it into the cached
+    /// topological positions (sharing its driver's rank — the fixed-point
+    /// worklist tolerates the tie at the cost of at most one extra
+    /// relaxation), and re-propagates arrival/required only through the
+    /// affected cones. The O(n) [`Timing::rebuild`] is never needed.
+    ///
+    /// `conv` is the id returned by [`Network::insert_converter`]; the edit
+    /// must already be applied to `net`. Returns the number of node
+    /// recomputations performed.
+    pub fn apply_converter_insertion(
+        &mut self,
+        net: &Network,
+        lib: &Library,
+        conv: NodeId,
+    ) -> usize {
+        let n = net.node_count();
+        debug_assert_eq!(conv.index(), n - 1, "converter is always the newest slot");
+        let driver = net.fanins(conv)[0];
+        self.arrival.resize(n, 0.0);
+        self.required.resize(n, f64::INFINITY);
+        self.delay.resize(n, 0.0);
+        self.load.resize(n, 0.0);
+        self.po_sinks.resize(n, 0);
+        self.topo_pos.resize(n, 0);
+        self.topo_pos[conv.index()] = self.topo_pos[driver.index()];
+        self.topo.push(conv);
+        self.recount_po_sinks(net, &[driver, conv]);
+        for id in [driver, conv] {
+            self.load[id.index()] = load_pf(net, lib, id, &self.po_sinks);
+            self.delay[id.index()] = gate_delay(net, lib, id, self.load[id.index()]);
+        }
+        let mut events = 2;
+        let fwd = [driver, conv]
+            .into_iter()
+            .chain(net.fanouts(conv).iter().copied());
+        events += self.propagate_forward(net, fwd);
+        let bwd = [conv, driver]
+            .into_iter()
+            .chain(net.fanins(driver).iter().copied());
+        events + self.propagate_backward(net, bwd)
+    }
+
+    /// Incrementally absorbs a [`Network::remove_converter`] edit: resets
+    /// the tombstoned `conv` slot to the exact values a fresh
+    /// [`Timing::analyze`] would give a dead node, then re-propagates
+    /// arrival/required around `driver` (the converter's former fanin),
+    /// whose sinks and primary outputs have been rerouted back to it.
+    ///
+    /// Must be called after [`Network::remove_converter`]; `driver` is the
+    /// removed converter's single fanin (known to the caller, no longer
+    /// discoverable from the tombstone's cleared fanout list). Returns the
+    /// number of node recomputations performed.
+    pub fn apply_converter_removal(
+        &mut self,
+        net: &Network,
+        lib: &Library,
+        conv: NodeId,
+        driver: NodeId,
+    ) -> usize {
+        debug_assert!(net.node(conv).is_dead());
+        let cix = conv.index();
+        self.arrival[cix] = 0.0;
+        self.required[cix] = f64::INFINITY;
+        self.delay[cix] = 0.0;
+        self.load[cix] = 0.0;
+        self.recount_po_sinks(net, &[driver, conv]);
+        self.load[driver.index()] = load_pf(net, lib, driver, &self.po_sinks);
+        self.delay[driver.index()] = gate_delay(net, lib, driver, self.load[driver.index()]);
+        let mut events = 1;
+        let fwd = std::iter::once(driver).chain(net.fanouts(driver).iter().copied());
+        events += self.propagate_forward(net, fwd);
+        let bwd = std::iter::once(driver).chain(net.fanins(driver).iter().copied());
+        events + self.propagate_backward(net, bwd)
+    }
+
+    /// Recounts `po_sinks` for just the given nodes by scanning the
+    /// primary-output list (structural edits only ever move outputs between
+    /// a converter and its driver).
+    fn recount_po_sinks(&mut self, net: &Network, nodes: &[NodeId]) {
+        for &id in nodes {
+            self.po_sinks[id.index()] = 0;
+        }
+        for (_, d) in net.primary_outputs() {
+            if nodes.contains(d) {
+                self.po_sinks[d.index()] += 1;
+            }
+        }
+    }
+
+    fn propagate_forward(&mut self, net: &Network, seeds: impl Iterator<Item = NodeId>) -> usize {
         // min-heap on topological position (BinaryHeap is a max-heap, so
         // store negated positions)
         let mut heap: BinaryHeap<(i64, NodeId)> = BinaryHeap::new();
         let mut queued = vec![false; net.node_count()];
+        let mut events = 0;
         for s in seeds {
             if !queued[s.index()] {
                 queued[s.index()] = true;
@@ -224,6 +329,7 @@ impl Timing {
         }
         while let Some((_, id)) = heap.pop() {
             queued[id.index()] = false;
+            events += 1;
             let fresh = self.compute_arrival(net, id);
             if (fresh - self.arrival[id.index()]).abs() > EPS {
                 self.arrival[id.index()] = fresh;
@@ -235,11 +341,13 @@ impl Timing {
                 }
             }
         }
+        events
     }
 
-    fn propagate_backward(&mut self, net: &Network, seeds: impl Iterator<Item = NodeId>) {
+    fn propagate_backward(&mut self, net: &Network, seeds: impl Iterator<Item = NodeId>) -> usize {
         let mut heap: BinaryHeap<(i64, NodeId)> = BinaryHeap::new();
         let mut queued = vec![false; net.node_count()];
+        let mut events = 0;
         for s in seeds {
             if !queued[s.index()] {
                 queued[s.index()] = true;
@@ -248,6 +356,7 @@ impl Timing {
         }
         while let Some((_, id)) = heap.pop() {
             queued[id.index()] = false;
+            events += 1;
             let fresh = self.compute_required(net, id);
             if (fresh - self.required[id.index()]).abs() > EPS {
                 self.required[id.index()] = fresh;
@@ -259,6 +368,7 @@ impl Timing {
                 }
             }
         }
+        events
     }
 }
 
@@ -340,7 +450,10 @@ mod tests {
         t.apply_gate_change(&net, &lib, gates[2]);
         let fresh = Timing::analyze(&net, &lib, 100.0);
         for id in net.node_ids() {
-            assert!((t.arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-9, "{id}");
+            assert!(
+                (t.arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-9,
+                "{id}"
+            );
             assert!(
                 (t.required_ns(id) - fresh.required_ns(id)).abs() < 1e-9,
                 "{id}"
@@ -424,6 +537,116 @@ mod tests {
         assert!(after > before, "converter adds delay: {before} -> {after}");
         let fresh = Timing::analyze(&net, &lib, 100.0);
         assert!((after - fresh.critical_delay_ns(&net)).abs() < 1e-12);
+    }
+
+    /// Asserts `t` matches a from-scratch analysis of `net` on every live
+    /// node (arrival, required, load, delay) and on the PO aggregates.
+    fn assert_matches_fresh(t: &Timing, net: &Network, lib: &Library) {
+        let fresh = Timing::analyze(net, lib, t.tspec_ns());
+        for id in net.node_ids() {
+            assert!(
+                (t.arrival_ns(id) - fresh.arrival_ns(id)).abs() < 1e-9,
+                "arrival {id}"
+            );
+            assert!(
+                (t.required_ns(id) - fresh.required_ns(id)).abs() < 1e-9
+                    || (t.required_ns(id).is_infinite() && fresh.required_ns(id).is_infinite()),
+                "required {id}: {} vs {}",
+                t.required_ns(id),
+                fresh.required_ns(id)
+            );
+            assert!(
+                (t.load_pf(id) - fresh.load_pf(id)).abs() < 1e-12,
+                "load {id}"
+            );
+            assert!(
+                (t.delay_ns(id) - fresh.delay_ns(id)).abs() < 1e-12,
+                "delay {id}"
+            );
+        }
+        assert!((t.worst_po_slack() - fresh.worst_po_slack()).abs() < 1e-9);
+        assert!((t.critical_delay_ns(net) - fresh.critical_delay_ns(net)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_converter_insertion_matches_full() {
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let nand2 = lib.find("NAND2").unwrap();
+        let mut net = Network::new("ci");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let drv = net.add_gate("drv", nand2, &[a, b]);
+        let s1 = net.add_gate("s1", inv, &[drv]);
+        let s2 = net.add_gate("s2", nand2, &[drv, b]);
+        let s3 = net.add_gate("s3", inv, &[s2]);
+        net.add_output("y1", s1);
+        net.add_output("y2", s3);
+        net.add_output("tap", drv);
+        let mut t = Timing::analyze(&net, &lib, 100.0);
+        net.set_rail(drv, Rail::Low);
+        t.apply_gate_change(&net, &lib, drv);
+        let conv = net
+            .insert_converter(drv, &[s1, s2], true, lib.converter())
+            .unwrap();
+        let events = t.apply_converter_insertion(&net, &lib, conv);
+        assert!(events > 0);
+        assert_matches_fresh(&t, &net, &lib);
+    }
+
+    #[test]
+    fn incremental_converter_removal_matches_full() {
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let nand2 = lib.find("NAND2").unwrap();
+        let mut net = Network::new("cr");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let drv = net.add_gate("drv", nand2, &[a, b]);
+        let s1 = net.add_gate("s1", inv, &[drv]);
+        let s2 = net.add_gate("s2", nand2, &[drv, b]);
+        net.add_output("y1", s1);
+        net.add_output("y2", s2);
+        net.add_output("tap", drv);
+        let mut t = Timing::analyze(&net, &lib, 100.0);
+        net.set_rail(drv, Rail::Low);
+        t.apply_gate_change(&net, &lib, drv);
+        let conv = net
+            .insert_converter(drv, &[s1, s2], true, lib.converter())
+            .unwrap();
+        t.apply_converter_insertion(&net, &lib, conv);
+        // removal reverses the splice; timing must match a fresh analysis
+        // of the network-with-tombstone exactly
+        net.remove_converter(conv).unwrap();
+        let events = t.apply_converter_removal(&net, &lib, conv, drv);
+        assert!(events > 0);
+        assert_matches_fresh(&t, &net, &lib);
+        assert_eq!(t.arrival_ns(conv), 0.0);
+        assert!(t.required_ns(conv).is_infinite());
+    }
+
+    #[test]
+    fn chained_structural_edits_stay_consistent() {
+        let lib = lib();
+        let (mut net, gates) = chain(&lib, 6);
+        let mut t = Timing::analyze(&net, &lib, 100.0);
+        let mut convs = Vec::new();
+        for &g in &gates[..3] {
+            net.set_rail(g, Rail::Low);
+            t.apply_gate_change(&net, &lib, g);
+            let sinks = net.fanouts(g).to_vec();
+            let conv = net
+                .insert_converter(g, &sinks, false, lib.converter())
+                .unwrap();
+            t.apply_converter_insertion(&net, &lib, conv);
+            convs.push((conv, g));
+        }
+        assert_matches_fresh(&t, &net, &lib);
+        for (conv, drv) in convs {
+            net.remove_converter(conv).unwrap();
+            t.apply_converter_removal(&net, &lib, conv, drv);
+        }
+        assert_matches_fresh(&t, &net, &lib);
     }
 
     #[test]

@@ -48,11 +48,11 @@ fn network_strategy() -> impl Strategy<Value = Network> {
 }
 
 /// Brute-force arrival: longest path by exhaustive memo-free recursion.
-fn brute_arrival(net: &Network, lib: &Library, id: NodeId, delays: &[f64]) -> f64 {
+fn brute_arrival(net: &Network, id: NodeId, delays: &[f64]) -> f64 {
     let base = net
         .fanins(id)
         .iter()
-        .map(|&f| brute_arrival(net, lib, f, delays))
+        .map(|&f| brute_arrival(net, f, delays))
         .fold(0.0f64, f64::max);
     base + delays[id.index()]
 }
@@ -70,7 +70,7 @@ proptest! {
             .map(|ix| t.delay_ns(NodeId::from_index(ix)))
             .collect();
         for id in net.node_ids() {
-            let want = brute_arrival(&net, &lib, id, &delays);
+            let want = brute_arrival(&net, id, &delays);
             prop_assert!((t.arrival_ns(id) - want).abs() < 1e-9,
                 "arrival mismatch at {}: {} vs {}", id, t.arrival_ns(id), want);
         }

@@ -1,0 +1,309 @@
+//! Trajectory diff between two sweep result documents — the engine behind
+//! `dvs-sweep --compare OLD.json`.
+//!
+//! Joins the scenarios of an old and a new `BENCH_sweep.json` by id and
+//! reports per-scenario power / improvement / runtime deltas (new − old),
+//! plus ids present on only one side. Both documents must carry a schema
+//! tag this crate can read (`dvs-sweep/v1` or `dvs-sweep/v2`) — anything
+//! else is an error, which the CLI turns into a nonzero exit.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// Schema tags [`compare`] can read. `v1` documents merely lack the `sta`
+/// counter objects, which the diff does not consume.
+pub const READABLE_SCHEMAS: [&str; 2] = ["dvs-sweep/v1", "dvs-sweep/v2"];
+
+/// Per-algorithm deltas of one scenario, new − old.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AlgoDelta {
+    /// Post-algorithm power delta, µW.
+    pub power_uw: f64,
+    /// Improvement-percentage delta, percentage points.
+    pub improvement_pct: f64,
+    /// Algorithm CPU-seconds delta.
+    pub cpu_s: f64,
+}
+
+/// All deltas of one scenario present in both documents, new − old.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDelta {
+    /// Scenario id, e.g. `des.x10/paper/s0`.
+    pub id: String,
+    /// CVS deltas.
+    pub cvs: AlgoDelta,
+    /// Dscale deltas.
+    pub dscale: AlgoDelta,
+    /// Gscale deltas.
+    pub gscale: AlgoDelta,
+    /// Whole-scenario CPU-seconds delta.
+    pub cpu_s: f64,
+}
+
+/// The joined result of [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Schema tag of the old document.
+    pub old_schema: String,
+    /// Schema tag of the new document.
+    pub new_schema: String,
+    /// Deltas for scenarios present in both documents, in the new
+    /// document's order.
+    pub deltas: Vec<ScenarioDelta>,
+    /// Scenario ids only the old document has.
+    pub only_old: Vec<String>,
+    /// Scenario ids only the new document has.
+    pub only_new: Vec<String>,
+}
+
+impl Comparison {
+    /// Largest absolute post-algorithm power delta across all shared
+    /// scenarios and algorithms, µW. `0.0` when nothing is shared — the
+    /// quick "did the measurements move?" scalar.
+    pub fn max_abs_power_delta_uw(&self) -> f64 {
+        self.deltas
+            .iter()
+            .flat_map(|d| [d.cvs.power_uw, d.dscale.power_uw, d.gscale.power_uw])
+            .fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Renders the diff as an aligned text table (one line per shared
+    /// scenario, then the one-sided ids, then the max-|Δpower| summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trajectory diff ({} -> {}): {} shared scenario(s)",
+            self.old_schema,
+            self.new_schema,
+            self.deltas.len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>9} {:>9} {:>9} {:>13} {:>9}",
+            "scenario", "dCVS pp", "dDsc pp", "dGsc pp", "dGsc uW", "dCPU s"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>+9.3} {:>+9.3} {:>+9.3} {:>+13.3} {:>+9.2}",
+                d.id,
+                d.cvs.improvement_pct,
+                d.dscale.improvement_pct,
+                d.gscale.improvement_pct,
+                d.gscale.power_uw,
+                d.cpu_s,
+            );
+        }
+        for id in &self.only_old {
+            let _ = writeln!(out, "  only in old: {id}");
+        }
+        for id in &self.only_new {
+            let _ = writeln!(out, "  only in new: {id}");
+        }
+        let _ = writeln!(
+            out,
+            "  max |dPower| across shared scenarios: {:.6} uW",
+            self.max_abs_power_delta_uw()
+        );
+        out
+    }
+}
+
+fn num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric `{key}`"))
+}
+
+fn algo_delta(old: &Json, new: &Json, name: &str, id: &str) -> Result<AlgoDelta, String> {
+    let pick = |doc: &Json, side: &str| -> Result<(f64, f64, f64), String> {
+        let ctx = format!("{side} scenario `{id}`.{name}");
+        let a = doc
+            .get(name)
+            .ok_or_else(|| format!("{ctx}: missing object"))?;
+        Ok((
+            num(a, "power_uw", &ctx)?,
+            num(a, "improvement_pct", &ctx)?,
+            num(a, "cpu_s", &ctx)?,
+        ))
+    };
+    let o = pick(old, "old")?;
+    let n = pick(new, "new")?;
+    Ok(AlgoDelta {
+        power_uw: n.0 - o.0,
+        improvement_pct: n.1 - o.1,
+        cpu_s: n.2 - o.2,
+    })
+}
+
+fn schema_of(doc: &Json, which: &str) -> Result<String, String> {
+    let s = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{which} document has no `schema` string"))?;
+    if !READABLE_SCHEMAS.contains(&s) {
+        return Err(format!(
+            "{which} document has unsupported schema `{s}` (can read: {})",
+            READABLE_SCHEMAS.join(", ")
+        ));
+    }
+    Ok(s.to_owned())
+}
+
+fn scenarios_of<'a>(doc: &'a Json, which: &str) -> Result<Vec<(String, &'a Json)>, String> {
+    let arr = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{which} document has no `scenarios` array"))?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, sc)| {
+            let id = sc
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{which} scenario #{i} has no `id` string"))?;
+            Ok((id.to_owned(), sc))
+        })
+        .collect()
+}
+
+/// Diffs two parsed sweep documents. Scenarios are joined by id; deltas
+/// are new − old in the new document's order. Errs on unreadable schema
+/// tags or structurally broken documents.
+pub fn compare(old: &Json, new: &Json) -> Result<Comparison, String> {
+    let old_schema = schema_of(old, "old")?;
+    let new_schema = schema_of(new, "new")?;
+    let old_scs = scenarios_of(old, "old")?;
+    let new_scs = scenarios_of(new, "new")?;
+    let old_by_id: HashMap<&str, &Json> =
+        old_scs.iter().map(|(id, sc)| (id.as_str(), *sc)).collect();
+    let new_ids: std::collections::HashSet<&str> =
+        new_scs.iter().map(|(id, _)| id.as_str()).collect();
+
+    let mut deltas = Vec::new();
+    for (id, new_sc) in &new_scs {
+        let Some(old_sc) = old_by_id.get(id.as_str()) else {
+            continue;
+        };
+        let ctx = format!("scenario `{id}`");
+        deltas.push(ScenarioDelta {
+            id: id.clone(),
+            cvs: algo_delta(old_sc, new_sc, "cvs", id)?,
+            dscale: algo_delta(old_sc, new_sc, "dscale", id)?,
+            gscale: algo_delta(old_sc, new_sc, "gscale", id)?,
+            cpu_s: num(new_sc, "cpu_s", &ctx)? - num(old_sc, "cpu_s", &ctx)?,
+        });
+    }
+    Ok(Comparison {
+        old_schema,
+        new_schema,
+        deltas,
+        only_old: old_scs
+            .iter()
+            .filter(|(id, _)| !new_ids.contains(id.as_str()))
+            .map(|(id, _)| id.clone())
+            .collect(),
+        only_new: new_scs
+            .iter()
+            .filter(|(id, _)| !old_by_id.contains_key(id.as_str()))
+            .map(|(id, _)| id.clone())
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn algo(power: f64, pct: f64, cpu: f64) -> Json {
+        Json::obj(vec![
+            ("power_uw", Json::Num(power)),
+            ("improvement_pct", Json::Num(pct)),
+            ("cpu_s", Json::Num(cpu)),
+        ])
+    }
+
+    fn scenario(id: &str, power: f64) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(id.into())),
+            ("cvs", algo(power, 10.0, 0.5)),
+            ("dscale", algo(power - 1.0, 11.0, 0.6)),
+            ("gscale", algo(power - 2.0, 12.0, 0.7)),
+            ("cpu_s", Json::Num(2.0)),
+        ])
+    }
+
+    fn doc(schema: &str, scenarios: Vec<Json>) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(schema.into())),
+            ("scenarios", Json::Arr(scenarios)),
+        ])
+    }
+
+    #[test]
+    fn joins_by_id_and_reports_deltas_and_orphans() {
+        let old = doc(
+            "dvs-sweep/v1",
+            vec![scenario("a/s0", 100.0), scenario("gone/s0", 50.0)],
+        );
+        let new = doc(
+            "dvs-sweep/v2",
+            vec![scenario("a/s0", 90.0), scenario("fresh/s0", 10.0)],
+        );
+        let cmp = compare(&old, &new).expect("well-formed documents");
+        assert_eq!(cmp.old_schema, "dvs-sweep/v1");
+        assert_eq!(cmp.new_schema, "dvs-sweep/v2");
+        assert_eq!(cmp.deltas.len(), 1);
+        let d = &cmp.deltas[0];
+        assert_eq!(d.id, "a/s0");
+        assert!((d.cvs.power_uw + 10.0).abs() < 1e-12);
+        assert!((d.gscale.power_uw + 10.0).abs() < 1e-12);
+        assert!(d.cvs.improvement_pct.abs() < 1e-12);
+        assert!(d.cpu_s.abs() < 1e-12);
+        assert_eq!(cmp.only_old, vec!["gone/s0".to_owned()]);
+        assert_eq!(cmp.only_new, vec!["fresh/s0".to_owned()]);
+        assert!((cmp.max_abs_power_delta_uw() - 10.0).abs() < 1e-12);
+        let text = cmp.render();
+        assert!(text.contains("a/s0"), "{text}");
+        assert!(text.contains("only in old: gone/s0"), "{text}");
+        assert!(text.contains("only in new: fresh/s0"), "{text}");
+    }
+
+    #[test]
+    fn identical_documents_diff_to_zero() {
+        let d = doc("dvs-sweep/v2", vec![scenario("a/s0", 100.0)]);
+        let cmp = compare(&d, &d).expect("well-formed");
+        assert_eq!(cmp.max_abs_power_delta_uw(), 0.0);
+        assert!(cmp.only_old.is_empty() && cmp.only_new.is_empty());
+    }
+
+    #[test]
+    fn unknown_schema_is_an_error() {
+        let good = doc("dvs-sweep/v2", vec![]);
+        let bad = doc("dvs-sweep/v99", vec![]);
+        let err = compare(&bad, &good).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        let err = compare(&good, &bad).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        let no_tag = Json::obj(vec![("scenarios", Json::Arr(vec![]))]);
+        assert!(compare(&no_tag, &good).is_err());
+    }
+
+    #[test]
+    fn structurally_broken_scenarios_are_errors() {
+        let good = doc("dvs-sweep/v2", vec![scenario("a/s0", 1.0)]);
+        let missing_algo = doc(
+            "dvs-sweep/v2",
+            vec![Json::obj(vec![
+                ("id", Json::Str("a/s0".into())),
+                ("cpu_s", Json::Num(1.0)),
+            ])],
+        );
+        assert!(compare(&good, &missing_algo).is_err());
+        let no_id = doc("dvs-sweep/v2", vec![Json::obj(vec![])]);
+        assert!(compare(&good, &no_id).is_err());
+    }
+}

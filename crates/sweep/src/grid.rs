@@ -189,7 +189,10 @@ mod tests {
         let g = Grid {
             profiles: PROFILES.iter().take(2).collect(),
             scales: vec![1, 10],
-            variants: vec![ConfigVariant::paper(), ConfigVariant::named("tight-clock").unwrap()],
+            variants: vec![
+                ConfigVariant::paper(),
+                ConfigVariant::named("tight-clock").unwrap(),
+            ],
             seeds: vec![0, 7],
         };
         assert_eq!(g.len(), 16);
@@ -217,7 +220,11 @@ mod tests {
                 assert_ne!(v.name, w.name);
             }
             v.config.assert_valid();
-            assert!(v.relax >= 1.0, "{}: relax under 1 would violate tmin", v.name);
+            assert!(
+                v.relax >= 1.0,
+                "{}: relax under 1 would violate tmin",
+                v.name
+            );
         }
         assert!(ConfigVariant::named("nope").is_none());
     }

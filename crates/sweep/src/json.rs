@@ -1,6 +1,7 @@
-//! Minimal hand-rolled JSON: a writer for `BENCH_sweep.json` and a
-//! syntax validator for smoke checks — the container is offline, so no
-//! serde.
+//! Minimal hand-rolled JSON: a writer for `BENCH_sweep.json`, a syntax
+//! validator for smoke checks, and a value-constructing [`parse`] used by
+//! the sweep's `--compare` trajectory diff — the container is offline, so
+//! no serde.
 //!
 //! The writer is deliberately deterministic: object keys render in
 //! insertion order, floats use Rust's shortest round-trip `Display` (never
@@ -36,7 +37,55 @@ pub enum Json {
 impl Json {
     /// Convenience constructor for object members.
     pub fn obj(members: Vec<(&str, Json)>) -> Json {
-        Json::Obj(members.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Object member lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int`, `UInt` and `Num` all read as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of non-negative integers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Renders the tree as a compact JSON document plus newline-free
@@ -129,18 +178,26 @@ fn write_escaped(out: &mut String, s: &str) {
 }
 
 /// Validates that `text` is one syntactically well-formed JSON document
-/// (RFC 8259 grammar; no value construction). Returns the byte offset and
-/// reason of the first error.
+/// (RFC 8259 grammar). Returns the byte offset and reason of the first
+/// error.
 pub fn validate(text: &str) -> Result<(), String> {
+    parse(text).map(|_| ())
+}
+
+/// Parses `text` into a [`Json`] value tree (RFC 8259 grammar). Numbers
+/// without a fraction or exponent that fit an integer parse as
+/// [`Json::UInt`] / [`Json::Int`]; everything else numeric becomes
+/// [`Json::Num`]. Returns the byte offset and reason of the first error.
+pub fn parse(text: &str) -> Result<Json, String> {
     let b = text.as_bytes();
     let mut p = Parser { b, at: 0 };
     p.skip_ws();
-    p.value()?;
+    let v = p.value()?;
     p.skip_ws();
     if p.at != b.len() {
         return Err(format!("trailing garbage at byte {}", p.at));
     }
-    Ok(())
+    Ok(v)
 }
 
 struct Parser<'a> {
@@ -181,102 +238,164 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Json::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<Json, String> {
         self.eat(b'{')?;
         self.skip_ws();
+        let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.at += 1;
-            return Ok(());
+            return Ok(Json::Obj(members));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.eat(b':')?;
             self.skip_ws();
-            self.value()?;
+            let val = self.value()?;
+            members.push((key, val));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.at += 1,
                 Some(b'}') => {
                     self.at += 1;
-                    return Ok(());
+                    return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Json, String> {
         self.eat(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.at += 1;
-            return Ok(());
+            return Ok(Json::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.at += 1,
                 Some(b']') => {
                     self.at += 1;
-                    return Ok(());
+                    return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.eat(b'"')?;
+        let mut s = String::new();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.at += 1;
-                    return Ok(());
+                    return Ok(s);
                 }
                 Some(b'\\') => {
                     self.at += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            s.push(c as char);
+                            self.at += 1;
+                        }
+                        Some(b'b') => {
+                            s.push('\u{8}');
+                            self.at += 1;
+                        }
+                        Some(b'f') => {
+                            s.push('\u{c}');
+                            self.at += 1;
+                        }
+                        Some(b'n') => {
+                            s.push('\n');
+                            self.at += 1;
+                        }
+                        Some(b'r') => {
+                            s.push('\r');
+                            self.at += 1;
+                        }
+                        Some(b't') => {
+                            s.push('\t');
                             self.at += 1;
                         }
                         Some(b'u') => {
                             self.at += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.at += 1,
-                                    _ => return Err(self.err("bad \\u escape")),
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // surrogate pair: a low surrogate must follow
+                                self.literal("\\u")
+                                    .map_err(|_| self.err("lone high surrogate"))?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
                                 }
-                            }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                hi
+                            };
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
                         }
                         _ => return Err(self.err("bad escape")),
                     }
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control character")),
-                Some(_) => self.at += 1,
+                Some(_) => {
+                    // copy one whole UTF-8 scalar (input is &str, so valid)
+                    let rest = &self.b[self.at..];
+                    let len = std::str::from_utf8(rest)
+                        .map(|t| t.chars().next().map_or(1, char::len_utf8))
+                        .unwrap_or(1);
+                    s.push_str(std::str::from_utf8(&rest[..len]).unwrap());
+                    self.at += len;
+                }
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), String> {
-        if self.peek() == Some(b'-') {
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            match self.peek() {
+                Some(c) if c.is_ascii_hexdigit() => {
+                    v = v * 16 + (c as char).to_digit(16).unwrap();
+                    self.at += 1;
+                }
+                _ => return Err(self.err("bad \\u escape")),
+            }
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        let negative = self.peek() == Some(b'-');
+        if negative {
             self.at += 1;
         }
         let digits = |p: &mut Self| -> Result<(), String> {
@@ -296,9 +415,11 @@ impl Parser<'_> {
             Some(c) if c.is_ascii_digit() => digits(self)?,
             _ => return Err(self.err("expected a number")),
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
             self.at += 1;
             digits(self)?;
+            integral = false;
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
             self.at += 1;
@@ -306,8 +427,21 @@ impl Parser<'_> {
                 self.at += 1;
             }
             digits(self)?;
+            integral = false;
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.b[start..self.at]).unwrap();
+        if integral {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("number out of range"))
     }
 }
 
@@ -328,7 +462,11 @@ mod tests {
             ("none", Json::Null),
             (
                 "items",
-                Json::Arr(vec![Json::Int(-1), Json::Str("a\"b\\c\nd".into()), Json::Arr(vec![])]),
+                Json::Arr(vec![
+                    Json::Int(-1),
+                    Json::Str("a\"b\\c\nd".into()),
+                    Json::Arr(vec![]),
+                ]),
             ),
             ("empty", Json::Obj(vec![])),
         ]);
@@ -339,6 +477,48 @@ mod tests {
         assert!(text.contains("\"big\": 18446744073709551615"));
         // floats never render in scientific notation
         assert!(text.contains("\"tiny\": 0.00000015"));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("dvs-sweep/v2".into())),
+            ("count", Json::Int(-2)),
+            ("big", Json::UInt(u64::MAX)),
+            ("pi", Json::Num(3.25)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::UInt(1), Json::Str("a\"b\\c\nd".into())]),
+            ),
+        ]);
+        let back = parse(&doc.render()).expect("rendered documents parse");
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("dvs-sweep/v2")
+        );
+        assert_eq!(back.get("big").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(back.get("pi").and_then(Json::as_f64), Some(3.25));
+        assert_eq!(back.get("count").and_then(Json::as_f64), Some(-2.0));
+        assert_eq!(
+            back.get("items")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(back.get("missing"), None);
+
+        // escapes decode, including surrogate pairs
+        assert_eq!(
+            parse("\"\\u00e9\\n\\u0041\\ud83d\\ude00\"").unwrap(),
+            Json::Str("é\nA😀".into())
+        );
+        // integer classification: fraction/exponent forces Num
+        assert_eq!(parse("1e2").unwrap(), Json::Num(100.0));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert!(parse("\"\\ud83d x\"").is_err(), "lone surrogate accepted");
     }
 
     #[test]

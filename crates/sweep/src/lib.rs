@@ -23,11 +23,11 @@
 //! fields, making the whole document byte-identical across worker counts
 //! (that is what the CI smoke test asserts).
 //!
-//! ## `BENCH_sweep.json` schema (`dvs-sweep/v1`)
+//! ## `BENCH_sweep.json` schema (`dvs-sweep/v2`)
 //!
 //! ```json
 //! {
-//!   "schema": "dvs-sweep/v1",
+//!   "schema": "dvs-sweep/v2",
 //!   "timing": true,              // false when --deterministic zeroed the clocks
 //!   "scenario_count": 39,
 //!   "summary": {                 // means over all scenarios
@@ -50,7 +50,12 @@
 //!       "org_pwr_uw": 16157.2,       // single-Vdd power of the prepared network
 //!       "cvs":    { "power_uw": …, "improvement_pct": …, "low_gates": …,
 //!                   "low_ratio": …, "converters": 0, "resized": 0,
-//!                   "area_increase": …, "cpu_s": … },
+//!                   "area_increase": …, "cpu_s": …,
+//!                   "sta": { "rail_edits": …, "size_edits": …,
+//!                            "converters_inserted": …, "converters_removed": …,
+//!                            "sta_events": …, "full_analyses": …,
+//!                            "hot_rebuilds": 0, "rebuilds_avoided": …,
+//!                            "checkpoints": …, "rollbacks": … } },
 //!       "dscale": { …, "converters": N, … },   // same shape as "cvs"
 //!       "gscale": { …, "resized": N, … },      // same shape as "cvs"
 //!       "wall_s": 1.03,              // whole-scenario wall clock
@@ -60,9 +65,23 @@
 //! }
 //! ```
 //!
+//! `v2` added the per-algorithm `"sta"` objects — the
+//! [`dvs_core::FlowCounters`] snapshot of that algorithm's phase inside
+//! its [`dvs_core::FlowSession`] (edit counts, incremental-STA worklist
+//! events, rebuilds avoided, checkpoints/rollbacks). `hot_rebuilds` is
+//! zero by construction on the optimization hot paths, and CI asserts it.
+//!
 //! All `cpu_s` fields are **per-thread** CPU seconds
 //! ([`dvs_core::CpuTimer`]), so a loaded pool reports the same CPU cost as
 //! a sequential baseline instead of billing descheduled time.
+//!
+//! ## Trajectory diffs (`--compare`)
+//!
+//! [`compare`] joins two sweep documents by scenario id and reports
+//! per-scenario power / improvement / CPU deltas (new − old) plus ids
+//! present on only one side; the CLI's `--compare OLD.json` prints the
+//! rendered table after a sweep and exits nonzero when `OLD.json` has a
+//! schema tag outside [`READABLE_SCHEMAS`].
 //!
 //! ## Example
 //!
@@ -85,12 +104,14 @@
 
 pub mod json;
 
+mod compare;
 mod grid;
 mod pool;
 mod runner;
 
+pub use compare::{compare, AlgoDelta, Comparison, ScenarioDelta, READABLE_SCHEMAS};
 pub use grid::{ConfigVariant, Grid, Scenario};
 pub use pool::{default_jobs, run_indexed};
 pub use runner::{
-    mean, run_grid, run_scenario, to_json, write_results, AlgoSummary, ScenarioResult,
+    mean, run_grid, run_scenario, to_json, write_results, AlgoSummary, ScenarioResult, SCHEMA,
 };

@@ -3,12 +3,16 @@
 use std::time::Instant;
 
 use dvs_celllib::compass;
-use dvs_core::{run_circuit, AlgoReport, CircuitRun, CpuTimer};
+use dvs_core::{run_circuit, AlgoReport, CircuitRun, CpuTimer, FlowCounters};
 use dvs_synth::{mcnc, prepare};
 
 use crate::grid::{Grid, Scenario};
 use crate::json::Json;
 use crate::pool;
+
+/// The schema tag written into (and expected from) sweep JSON documents.
+/// `v2` added the per-algorithm `sta` counter objects.
+pub const SCHEMA: &str = "dvs-sweep/v2";
 
 /// Flat per-algorithm numbers of one scenario (one `Table 1` + `Table 2`
 /// cell group).
@@ -30,6 +34,9 @@ pub struct AlgoSummary {
     pub area_increase: f64,
     /// Per-thread CPU seconds of the algorithm run.
     pub cpu_s: f64,
+    /// `FlowSession` instrumentation scoped to this algorithm's phase
+    /// (STA worklist events, edits, rebuilds avoided, rollbacks).
+    pub sta: FlowCounters,
 }
 
 impl From<&AlgoReport> for AlgoSummary {
@@ -43,6 +50,7 @@ impl From<&AlgoReport> for AlgoSummary {
             resized: r.resized,
             area_increase: r.area_increase,
             cpu_s: r.cpu.as_secs_f64(),
+            sta: r.sta,
         }
     }
 }
@@ -131,6 +139,21 @@ where
     })
 }
 
+fn counters_json(c: &FlowCounters) -> Json {
+    Json::obj(vec![
+        ("rail_edits", Json::UInt(c.rail_edits)),
+        ("size_edits", Json::UInt(c.size_edits)),
+        ("converters_inserted", Json::UInt(c.converters_inserted)),
+        ("converters_removed", Json::UInt(c.converters_removed)),
+        ("sta_events", Json::UInt(c.sta_events)),
+        ("full_analyses", Json::UInt(c.full_analyses)),
+        ("hot_rebuilds", Json::UInt(c.hot_rebuilds)),
+        ("rebuilds_avoided", Json::UInt(c.rebuilds_avoided)),
+        ("checkpoints", Json::UInt(c.checkpoints)),
+        ("rollbacks", Json::UInt(c.rollbacks)),
+    ])
+}
+
 fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
     Json::obj(vec![
         ("power_uw", Json::Num(a.power_uw)),
@@ -141,11 +164,12 @@ fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
         ("resized", Json::UInt(a.resized as u64)),
         ("area_increase", Json::Num(a.area_increase)),
         ("cpu_s", Json::Num(if timing { a.cpu_s } else { 0.0 })),
+        ("sta", counters_json(&a.sta)),
     ])
 }
 
 /// Serializes sweep results as the `BENCH_sweep.json` document (schema
-/// `dvs-sweep/v1`; see the crate docs for the full field reference).
+/// `dvs-sweep/v2`; see the crate docs for the full field reference).
 ///
 /// With `timing == false` every wall/CPU field renders as `0`, making the
 /// document a pure function of the grid — byte-identical across runs and
@@ -154,7 +178,7 @@ fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
 pub fn to_json(results: &[ScenarioResult], timing: bool) -> Json {
     let mean = |f: &dyn Fn(&ScenarioResult) -> f64| mean(results.iter().map(f));
     Json::obj(vec![
-        ("schema", Json::Str("dvs-sweep/v1".into())),
+        ("schema", Json::Str(SCHEMA.into())),
         ("timing", Json::Bool(timing)),
         ("scenario_count", Json::UInt(results.len() as u64)),
         (
@@ -198,10 +222,7 @@ pub fn to_json(results: &[ScenarioResult], timing: bool) -> Json {
                             ("cvs", algo_json(&r.cvs, timing)),
                             ("dscale", algo_json(&r.dscale, timing)),
                             ("gscale", algo_json(&r.gscale, timing)),
-                            (
-                                "wall_s",
-                                Json::Num(if timing { r.wall_s } else { 0.0 }),
-                            ),
+                            ("wall_s", Json::Num(if timing { r.wall_s } else { 0.0 })),
                             ("cpu_s", Json::Num(if timing { r.cpu_s } else { 0.0 })),
                         ])
                     })
@@ -293,8 +314,12 @@ mod tests {
             assert_eq!(strip(x), strip(y), "{}", x.id);
         }
         // different seeds produce different random-logic structure
-        let s0 = a.iter().find(|r| r.circuit == "x2" && r.scale == 2 && r.seed == 0);
-        let s1 = a.iter().find(|r| r.circuit == "x2" && r.scale == 2 && r.seed == 1);
+        let s0 = a
+            .iter()
+            .find(|r| r.circuit == "x2" && r.scale == 2 && r.seed == 0);
+        let s1 = a
+            .iter()
+            .find(|r| r.circuit == "x2" && r.scale == 2 && r.seed == 1);
         assert_ne!(
             s0.unwrap().org_pwr_uw,
             s1.unwrap().org_pwr_uw,
@@ -309,9 +334,14 @@ mod tests {
         let doc = to_json(&results, false).render();
         crate::json::validate(&doc).expect("valid JSON");
         let again = to_json(&run_grid(&grid, 4, |_| {}), false).render();
-        assert_eq!(doc, again, "timing-stripped document must not depend on jobs");
-        assert!(doc.contains("\"schema\": \"dvs-sweep/v1\""));
+        assert_eq!(
+            doc, again,
+            "timing-stripped document must not depend on jobs"
+        );
+        assert!(doc.contains("\"schema\": \"dvs-sweep/v2\""));
         assert!(doc.contains("\"id\": \"x2.x1/paper/s0\""));
+        assert!(doc.contains("\"hot_rebuilds\": 0"));
+        assert!(doc.contains("\"sta\": {"));
         // timing-on documents still validate
         let timed = to_json(&results, true).render();
         crate::json::validate(&timed).expect("valid timed JSON");

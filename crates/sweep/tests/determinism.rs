@@ -15,7 +15,11 @@ fn grid() -> Grid {
         ..v
     };
     Grid {
-        profiles: vec![find("i1").unwrap(), find("x2").unwrap(), find("mux").unwrap()],
+        profiles: vec![
+            find("i1").unwrap(),
+            find("x2").unwrap(),
+            find("mux").unwrap(),
+        ],
         scales: vec![1, 2],
         variants: vec![
             cheap(ConfigVariant::paper()),

@@ -45,5 +45,6 @@ pub mod mcnc;
 mod sizing;
 
 pub use map::map_sop;
-pub use sizing::{electrical_correction, prepare, recover_area, size_for_min_delay, total_area, Prepared};
-
+pub use sizing::{
+    electrical_correction, prepare, recover_area, size_for_min_delay, total_area, Prepared,
+};

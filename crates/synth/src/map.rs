@@ -101,11 +101,7 @@ impl<'a> Mapper<'a> {
     }
 
     /// Maps one SOP cover, returning the driver of its output signal.
-    fn map_cover(
-        &mut self,
-        fanins: &[dvs_netlist::SopNodeId],
-        cover: &SopCover,
-    ) -> NodeId {
+    fn map_cover(&mut self, fanins: &[dvs_netlist::SopNodeId], cover: &SopCover) -> NodeId {
         // Constants become an XOR/XNOR of an arbitrary input with itself
         // (0 / 1); benchmark circuits do not use constant nodes on the
         // critical path so the exact realisation is immaterial. A cover
@@ -135,8 +131,7 @@ impl<'a> Mapper<'a> {
 
         // XOR/XNOR pattern match on two-input two-cube covers.
         if fanins.len() == 2 && cover.cubes.len() == 2 {
-            let pat: Vec<Vec<Option<bool>>> =
-                cover.cubes.iter().map(|c| c.0.clone()).collect();
+            let pat: Vec<Vec<Option<bool>>> = cover.cubes.iter().map(|c| c.0.clone()).collect();
             let is_xor = pat.contains(&vec![Some(true), Some(false)])
                 && pat.contains(&vec![Some(false), Some(true)]);
             let is_xnor = pat.contains(&vec![Some(true), Some(true)])
@@ -229,7 +224,9 @@ mod tests {
     fn assert_equivalent(sop: &SopNetwork, mapped: &Network, lib: &Library) {
         let n_in = sop.primary_inputs().len();
         assert!(n_in <= 12, "exhaustive check limited to 12 inputs");
-        mapped.validate(Some(lib)).expect("mapped net is well-formed");
+        mapped
+            .validate(Some(lib))
+            .expect("mapped net is well-formed");
         for pattern in 0..1usize << n_in {
             let bits: Vec<bool> = (0..n_in).map(|i| pattern >> i & 1 == 1).collect();
             let sop_vals = sop.eval(&bits);
@@ -374,7 +371,8 @@ mod tests {
         let mut seedmix = 0x9e3779b97f4a7c15u64;
         for case in 0..12 {
             seedmix = seedmix.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(case);
-            let mut text = String::from(".model r\n.inputs a b c d\n.outputs y\n.names a b c d y\n");
+            let mut text =
+                String::from(".model r\n.inputs a b c d\n.outputs y\n.names a b c d y\n");
             let cubes = 1 + (seedmix % 5) as usize;
             let mut s = seedmix;
             for _ in 0..cubes {

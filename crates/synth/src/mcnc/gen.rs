@@ -329,7 +329,11 @@ fn reduction_cone(p: &Target, cells: &Cells, arity: u8) -> Network {
                     1 => next.push(chunk[0]),
                     2 if a == 3 => next.push(net.add_gate(
                         format!("r{o}_{level}_{ci}"),
-                        if level % 2 == 1 { cells.nand2 } else { cells.nor2 },
+                        if level % 2 == 1 {
+                            cells.nand2
+                        } else {
+                            cells.nor2
+                        },
                         chunk,
                     )),
                     _ => next.push(net.add_gate(format!("r{o}_{level}_{ci}"), cell, chunk)),
@@ -353,7 +357,9 @@ fn mux_tree(p: &Target, cells: &Cells) -> Network {
     }
     let selects = k.ilog2() as usize;
     let data: Vec<NodeId> = (0..k).map(|i| net.add_input(format!("d{i}"))).collect();
-    let sels: Vec<NodeId> = (0..selects).map(|i| net.add_input(format!("s{i}"))).collect();
+    let sels: Vec<NodeId> = (0..selects)
+        .map(|i| net.add_input(format!("s{i}")))
+        .collect();
     let mut layer = data;
     for (l, &s) in sels.iter().enumerate() {
         let muxes = layer.len() / 2;
@@ -408,9 +414,7 @@ fn spine_cloud(p: &Target, cells: &Cells, rng: &mut SmallRng) -> Network {
     net.add_output("po_spine", spine);
     let per_cone = (cloud_gates / cloud_cones).max(1);
     for c in 0..cloud_cones {
-        let mut prev: Vec<NodeId> = (0..3)
-            .map(|j| pis[(c * 5 + j * 2) % pis.len()])
-            .collect();
+        let mut prev: Vec<NodeId> = (0..3).map(|j| pis[(c * 5 + j * 2) % pis.len()]).collect();
         let mut root = prev[0];
         for g in 0..per_cone {
             let a = prev[rng.gen_range(0..prev.len())];
@@ -455,7 +459,7 @@ fn random_logic(p: &Target, cells: &Cells, uniformity: f64, rng: &mut SmallRng) 
     for k in 0..pinned_count {
         is_pinned[(k * p.outputs + k) % p.outputs] = true;
     }
-    let template_depth = max_depth.min((budget + 1) / 2).max(1);
+    let template_depth = max_depth.min(budget.div_ceil(2)).max(1);
     let unpinned_cap = (template_depth * 3 / 5).max(1);
     let depths: Vec<usize> = (0..p.outputs)
         .map(|c| {
@@ -475,7 +479,7 @@ fn random_logic(p: &Target, cells: &Cells, uniformity: f64, rng: &mut SmallRng) 
         // small budgets degrade gracefully to short chains; bigger ones
         // keep ≥ 2 gates per interior level
         let d = if budget >= 5 {
-            d.min((budget + 1) / 2).max(1)
+            d.min(budget.div_ceil(2)).max(1)
         } else {
             d.min(budget).max(1)
         };
@@ -607,9 +611,8 @@ fn random_logic(p: &Target, cells: &Cells, uniformity: f64, rng: &mut SmallRng) 
             let mut level = Vec::with_capacity(w);
             for i in 0..w {
                 let (cell, arity) = palette[(l * 3 + i) % palette.len()];
-                let mut fanins: Vec<NodeId> = (0..arity)
-                    .map(|k| prev[(i + k) % prev.len()])
-                    .collect();
+                let mut fanins: Vec<NodeId> =
+                    (0..arity).map(|k| prev[(i + k) % prev.len()]).collect();
                 // Deterministic Dscale pocket: an early-arriving side pin
                 // from unpinned logic — same template position in every
                 // pinned cone, so their arrivals stay identical. The source
@@ -617,8 +620,7 @@ fn random_logic(p: &Target, cells: &Cells, uniformity: f64, rng: &mut SmallRng) 
                 // stays non-critical; its whole fanin subtree then becomes
                 // CVS-blocked but Dscale-reachable (the paper's extra 8 %
                 // of gates). Round-robin keeps converters one-per-source.
-                if l >= 3 && arity >= 2 && (l * 5 + i) % 24 == 7 && !pocket_sources.is_empty()
-                {
+                if l >= 3 && arity >= 2 && (l * 5 + i) % 24 == 7 && !pocket_sources.is_empty() {
                     // a converter must be amortised over the source's own
                     // (soon-to-be-low) sinks, so only multi-fanout sources
                     // make economically demotable pockets
@@ -740,7 +742,11 @@ mod tests {
         let lib = lib();
         let net = build(find("i2").unwrap(), &lib);
         // 201 inputs through arity-3 reduction: 102 gates in the paper
-        assert!((95..=110).contains(&net.gate_count()), "{}", net.gate_count());
+        assert!(
+            (95..=110).contains(&net.gate_count()),
+            "{}",
+            net.gate_count()
+        );
     }
 
     #[test]
@@ -767,7 +773,10 @@ mod tests {
             .map(|id| net.fanouts(id).len())
             .max()
             .unwrap();
-        assert!(max_fanout >= 4, "select lines must be shared, got {max_fanout}");
+        assert!(
+            max_fanout >= 4,
+            "select lines must be shared, got {max_fanout}"
+        );
     }
 
     #[test]

@@ -240,8 +240,14 @@ mod tests {
         let dsc: f64 = PROFILES.iter().map(|p| p.paper.dscale_pct).sum::<f64>() / n;
         let gsc: f64 = PROFILES.iter().map(|p| p.paper.gscale_pct).sum::<f64>() / n;
         assert!((cvs - averages::CVS_PCT).abs() < 0.05, "CVS avg {cvs}");
-        assert!((dsc - averages::DSCALE_PCT).abs() < 0.05, "Dscale avg {dsc}");
-        assert!((gsc - averages::GSCALE_PCT).abs() < 0.05, "Gscale avg {gsc}");
+        assert!(
+            (dsc - averages::DSCALE_PCT).abs() < 0.05,
+            "Dscale avg {dsc}"
+        );
+        assert!(
+            (gsc - averages::GSCALE_PCT).abs() < 0.05,
+            "Gscale avg {gsc}"
+        );
     }
 
     #[test]
@@ -268,11 +274,7 @@ mod tests {
             // Gscale beats Dscale except on apex7-style saturated circuits
             // where the paper itself reports a small inversion in Table 2
             // gate counts; Table 1 power is monotone everywhere except i3.
-            assert!(
-                p.paper.gscale_pct >= p.paper.cvs_pct - 1e-9,
-                "{}",
-                p.name
-            );
+            assert!(p.paper.gscale_pct >= p.paper.cvs_pct - 1e-9, "{}", p.name);
         }
     }
 }

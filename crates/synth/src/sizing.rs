@@ -97,9 +97,9 @@ pub fn recover_area(net: &mut Network, lib: &Library, tspec_ns: f64) -> usize {
                 let cur = cell.size(node.size());
                 let smaller = &cell.sizes()[node.size().index() - 1];
                 let d_area = cur.area - smaller.area;
-                let d_delay =
-                    (smaller.delay_ns(timing.load_pf(g)) - cur.delay_ns(timing.load_pf(g)))
-                        .max(1e-12);
+                let d_delay = (smaller.delay_ns(timing.load_pf(g))
+                    - cur.delay_ns(timing.load_pf(g)))
+                .max(1e-12);
                 (g, d_area / d_delay)
             })
             .collect();

@@ -4,7 +4,9 @@
 use dvs_celllib::{compass, VoltagePair};
 use dvs_netlist::Rail;
 use dvs_sta::Timing;
-use dvs_synth::{electrical_correction, mcnc, prepare, recover_area, size_for_min_delay, total_area};
+use dvs_synth::{
+    electrical_correction, mcnc, prepare, recover_area, size_for_min_delay, total_area,
+};
 
 const SUBSET: [&str; 8] = ["pcle", "b9", "x2", "i1", "mux", "z4ml", "lal", "sct"];
 
@@ -54,7 +56,10 @@ fn recovery_shrinks_area_without_violating() {
         let after = total_area(&net, &lib);
         assert!(after <= sized_area + 1e-9, "{name}");
         if steps > 0 {
-            assert!(after < sized_area, "{name}: steps reported but no area saved");
+            assert!(
+                after < sized_area,
+                "{name}: steps reported but no area saved"
+            );
         }
         assert!(
             Timing::analyze(&net, &lib, budget).meets_constraint(1e-9),
@@ -74,8 +79,7 @@ fn recovery_respects_slew_legality() {
             let node = p.network.node(g);
             // no gate may be left carrying more than its legal load unless
             // it is already at the largest size
-            let at_max =
-                node.size().index() + 1 >= lib.cell(node.cell()).sizes().len();
+            let at_max = node.size().index() + 1 >= lib.cell(node.cell()).sizes().len();
             if !at_max && p.network.drives_output(g) {
                 // PO drivers went through electrical correction
                 assert!(
@@ -95,7 +99,10 @@ fn electrical_correction_is_idempotent() {
         let mut net = mcnc::generate(name, &lib).unwrap();
         let first = electrical_correction(&mut net, &lib);
         let second = electrical_correction(&mut net, &lib);
-        assert_eq!(second, 0, "{name}: second pass bumped {second} (first {first})");
+        assert_eq!(
+            second, 0,
+            "{name}: second pass bumped {second} (first {first})"
+        );
     }
 }
 
@@ -106,8 +113,16 @@ fn preparation_is_deterministic() {
     let b = prepare(mcnc::generate("term1", &lib).unwrap(), &lib, 1.2);
     assert_eq!(a.tmin_ns, b.tmin_ns);
     assert_eq!(a.tspec_ns, b.tspec_ns);
-    let sa: Vec<_> = a.network.gate_ids().map(|g| a.network.node(g).size()).collect();
-    let sb: Vec<_> = b.network.gate_ids().map(|g| b.network.node(g).size()).collect();
+    let sa: Vec<_> = a
+        .network
+        .gate_ids()
+        .map(|g| a.network.node(g).size())
+        .collect();
+    let sb: Vec<_> = b
+        .network
+        .gate_ids()
+        .map(|g| b.network.node(g).size())
+        .collect();
     assert_eq!(sa, sb);
 }
 

@@ -19,7 +19,7 @@ fn fingerprint(net: &Network) -> Vec<(String, Option<u32>, Vec<usize>)> {
             let n = net.node(id);
             (
                 n.name().to_owned(),
-                n.is_gate().then(|| n.cell().0 as u32),
+                n.is_gate().then(|| n.cell().0),
                 net.fanins(id).iter().map(|f| f.index()).collect(),
             )
         })
@@ -39,13 +39,13 @@ fn representatives() -> Vec<Profile> {
         paper: find("i2").unwrap().paper,
     };
     vec![
-        *find("C1355").unwrap(),   // ParityLattice
+        *find("C1355").unwrap(),    // ParityLattice
         *find("my_adder").unwrap(), // CarryChain
-        *find("i2").unwrap(),      // ReductionCone arity 3
-        arity2,                    // ReductionCone arity 2
-        *find("mux").unwrap(),     // MuxTree
-        *find("pcle").unwrap(),    // SpineCloud
-        *find("b9").unwrap(),      // Random
+        *find("i2").unwrap(),       // ReductionCone arity 3
+        arity2,                     // ReductionCone arity 2
+        *find("mux").unwrap(),      // MuxTree
+        *find("pcle").unwrap(),     // SpineCloud
+        *find("b9").unwrap(),       // Random
     ]
 }
 

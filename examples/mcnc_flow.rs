@@ -44,7 +44,10 @@ fn main() {
     let paper = profile.paper;
 
     println!("\nTable 1 row (measured | paper):");
-    println!("  OrgPwr  {:>8.2} uW | {:>8.2} uW", run.org_pwr_uw, paper.org_pwr_uw);
+    println!(
+        "  OrgPwr  {:>8.2} uW | {:>8.2} uW",
+        run.org_pwr_uw, paper.org_pwr_uw
+    );
     println!(
         "  CVS     {:>7.2} %  | {:>7.2} %",
         run.cvs.improvement_pct, paper.cvs_pct
@@ -94,8 +97,5 @@ fn main() {
         run.gscale.area_increase * 100.0,
         paper.area_inc * 100.0
     );
-    println!(
-        "  converters (Dscale): {}",
-        run.dscale.converters
-    );
+    println!("  converters (Dscale): {}", run.dscale.converters);
 }

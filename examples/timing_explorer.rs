@@ -14,7 +14,10 @@ use dual_vdd::prelude::*;
 use dual_vdd::sta::k_worst_paths;
 
 fn report(tag: &str, net: &dual_vdd::netlist::Network, t: &Timing, k: usize) {
-    eprintln!("{tag}: worst {k} paths (of constraint {:.3} ns)", t.tspec_ns());
+    eprintln!(
+        "{tag}: worst {k} paths (of constraint {:.3} ns)",
+        t.tspec_ns()
+    );
     for (ix, p) in k_worst_paths(net, t, k).iter().enumerate() {
         let ends = format!(
             "{} .. {}",

@@ -95,8 +95,8 @@ pub mod prelude {
         SizeVariant, VoltagePair,
     };
     pub use dvs_core::{
-        audit, cvs, dscale, gscale, measure_power, run_circuit, time_critical_boundary,
-        AlgoReport, CircuitRun, CvsOutcome, DscaleOutcome, FlowConfig, GscaleOutcome,
+        audit, cvs, dscale, gscale, measure_power, run_circuit, time_critical_boundary, AlgoReport,
+        CircuitRun, CvsOutcome, DscaleOutcome, FlowConfig, GscaleOutcome,
     };
     pub use dvs_netlist::{blif, Network, NodeId, Rail, SizeIx};
     pub use dvs_power::{estimate, simulate, Activities, PowerBreakdown};
@@ -104,10 +104,7 @@ pub mod prelude {
     pub use dvs_synth::{map_sop, prepare, recover_area, size_for_min_delay, total_area, Prepared};
 
     /// Generates one of the paper's 39 benchmark stand-ins by name.
-    pub fn generate_mcnc(
-        name: &str,
-        lib: &dvs_celllib::Library,
-    ) -> Option<dvs_netlist::Network> {
+    pub fn generate_mcnc(name: &str, lib: &dvs_celllib::Library) -> Option<dvs_netlist::Network> {
         dvs_synth::mcnc::generate(name, lib)
     }
 }

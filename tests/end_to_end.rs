@@ -127,7 +127,11 @@ fn reduction_cone_resists_everything() {
     let net = generate_mcnc("i2", &lib).unwrap();
     let prepared = prepare(net, &lib, 1.2);
     let run = run_circuit("i2", &prepared, &lib, &cfg);
-    assert!(run.cvs.improvement_pct.abs() < 0.5, "{:.2}", run.cvs.improvement_pct);
+    assert!(
+        run.cvs.improvement_pct.abs() < 0.5,
+        "{:.2}",
+        run.cvs.improvement_pct
+    );
     assert!(
         run.gscale.improvement_pct < 3.0,
         "i2 must resist Gscale, got {:.2}",

@@ -98,7 +98,10 @@ fn per_class_shapes() {
     // the CVS-zero / Gscale-wins class
     for name in ["C1355", "C499", "mux", "z4ml"] {
         let run = get(name);
-        assert!(run.cvs.improvement_pct < 7.0, "{name} CVS should be starved");
+        assert!(
+            run.cvs.improvement_pct < 7.0,
+            "{name} CVS should be starved"
+        );
         assert!(
             run.gscale.improvement_pct > run.cvs.improvement_pct + 4.0,
             "{name}: sizing must unlock the circuit ({:.2} vs {:.2})",

@@ -39,7 +39,10 @@ fn decode(spec: &NetSpec, lib: &Library) -> Network {
         .iter()
         .map(|n| lib.find(n).unwrap())
         .collect();
-    let arity1: Vec<CellRef> = ["INV", "BUF"].iter().map(|n| lib.find(n).unwrap()).collect();
+    let arity1: Vec<CellRef> = ["INV", "BUF"]
+        .iter()
+        .map(|n| lib.find(n).unwrap())
+        .collect();
     let mut net = Network::new("prop");
     let mut pool: Vec<NodeId> = (0..spec.inputs)
         .map(|i| net.add_input(format!("pi{i}")))

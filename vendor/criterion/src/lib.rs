@@ -22,12 +22,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{function}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -139,7 +143,11 @@ impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
-        BenchmarkGroup { name: name.into(), sample_size, criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            criterion: self,
+        }
     }
 
     /// Run `f` as a stand-alone benchmark.
@@ -156,7 +164,10 @@ impl Criterion {
 
     fn run_one(&mut self, label: &str, samples: u32, mut f: impl FnMut(&mut Bencher)) {
         let mut measured = None;
-        let mut bencher = Bencher { samples, measured: &mut measured };
+        let mut bencher = Bencher {
+            samples,
+            measured: &mut measured,
+        };
         f(&mut bencher);
         match measured {
             Some(mean) => println!("{label:<50} {:>12.3?}/iter", mean),

@@ -139,10 +139,7 @@ pub mod strategy {
         }
 
         /// Build a dependent strategy from each generated value.
-        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
-            self,
-            f: F,
-        ) -> FlatMap<Self, F>
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
         where
             Self: Sized,
         {
@@ -380,14 +377,20 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -399,7 +402,10 @@ pub mod collection {
 
     /// Generate vectors of values drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -528,12 +534,14 @@ macro_rules! prop_assert_ne {
         match (&$left, &$right) {
             (left, right) => {
                 if *left == *right {
-                    return ::std::result::Result::Err(
-                        $crate::test_runner::TestCaseError::Fail(format!(
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
                             "assertion failed: `{} != {}`\n  both: {:?}",
-                            stringify!($left), stringify!($right), left,
-                        )),
-                    );
+                            stringify!($left),
+                            stringify!($right),
+                            left,
+                        ),
+                    ));
                 }
             }
         }
@@ -545,11 +553,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::Reject(
-                    stringify!($cond).to_string(),
-                ),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
         }
     };
 }
