@@ -13,11 +13,13 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use dvs_core::FlowConfig;
+use dvs_obs::{Recorder, StderrTracer, Tee};
 use dvs_sweep::{
-    compare, default_jobs, json, mean, run_grid, to_json, write_results, ConfigVariant, Grid,
-    ScenarioResult,
+    compare, default_jobs, json, mean, run_grid_obs, to_json, write_results, ConfigVariant, Grid,
+    Progress, ScenarioResult,
 };
 use dvs_synth::mcnc::{self, Profile, PROFILES};
 
@@ -45,9 +47,25 @@ OPTIONS:
                       byte-identical across runs and worker counts
     --compare PATH    after the sweep, diff the new results against an
                       earlier sweep document (per-scenario power /
-                      improvement / CPU deltas); exits nonzero when PATH
-                      has an unreadable schema tag
+                      improvement / CPU deltas, plus per-phase self-time
+                      movement when both sides are v3); exits nonzero when
+                      PATH has an unreadable schema tag
+    --gate TOL        with --compare: fail (exit nonzero) when any shared
+                      scenario's power moved more than TOL uW or its
+                      improvement more than TOL percentage points, or when
+                      the scenario sets differ. TOL may also be `UW,PP` to
+                      set the two tolerances separately
+    --trace-out PATH  write a Chrome trace-event JSON of the whole sweep
+                      (load in Perfetto / chrome://tracing; one track per
+                      worker thread)
+    --obs-summary     print the top spans by self-time and the histogram
+                      digest to stderr after the sweep
     -h, --help        print this help
+
+Progress: when stderr is a terminal and --deterministic is off, a live
+`done/total | ETA | worker busy%` meter is rewritten in place; otherwise
+one line per finished scenario is logged. DVS_TRACE=1 additionally mirrors
+the classic per-iteration trace lines to stderr.
 ";
 
 struct Args {
@@ -56,6 +74,9 @@ struct Args {
     out: PathBuf,
     deterministic: bool,
     compare: Option<PathBuf>,
+    gate: Option<(f64, f64)>,
+    trace_out: Option<PathBuf>,
+    obs_summary: bool,
 }
 
 fn parse_profiles(spec: &str) -> Result<Vec<&'static Profile>, String> {
@@ -90,6 +111,9 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut out = PathBuf::from("BENCH_sweep.json");
     let mut deterministic = false;
     let mut compare: Option<PathBuf> = None;
+    let mut gate: Option<(f64, f64)> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut obs_summary = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -146,6 +170,25 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--out" => out = PathBuf::from(value(&mut i, "--out")?),
             "--deterministic" => deterministic = true,
             "--compare" => compare = Some(PathBuf::from(value(&mut i, "--compare")?)),
+            "--gate" => {
+                let spec = value(&mut i, "--gate")?;
+                let parts: Vec<f64> = spec
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .ok()
+                            .filter(|t| t.is_finite() && *t >= 0.0)
+                            .ok_or_else(|| format!("bad gate tolerance `{s}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                gate = Some(match parts.as_slice() {
+                    [both] => (*both, *both),
+                    [uw, pp] => (*uw, *pp),
+                    _ => return Err("`--gate` takes TOL or UW,PP".into()),
+                });
+            }
+            "--trace-out" => trace_out = Some(PathBuf::from(value(&mut i, "--trace-out")?)),
+            "--obs-summary" => obs_summary = true,
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
         i += 1;
@@ -161,6 +204,9 @@ fn parse_args() -> Result<Option<Args>, String> {
     if profiles.is_empty() || scales.is_empty() || variants.is_empty() || seeds.is_empty() {
         return Err("every grid dimension needs at least one entry".into());
     }
+    if gate.is_some() && compare.is_none() {
+        return Err("`--gate` needs `--compare OLD.json` to diff against".into());
+    }
     Ok(Some(Args {
         grid: Grid {
             profiles,
@@ -172,16 +218,21 @@ fn parse_args() -> Result<Option<Args>, String> {
         out,
         deterministic,
         compare,
+        gate,
+        trace_out,
+        obs_summary,
     }))
 }
 
-/// Loads an earlier sweep document and prints the trajectory diff against
-/// the just-computed results. Any failure — unreadable file, malformed
-/// JSON, unknown schema tag — comes back as `Err` for a nonzero exit.
+/// Loads an earlier sweep document, prints the trajectory diff against
+/// the just-computed results, and applies the measurement gate when one
+/// was requested. Any failure — unreadable file, malformed JSON, unknown
+/// schema tag, gate violation — comes back as `Err` for a nonzero exit.
 fn run_compare(
     old_path: &std::path::Path,
     results: &[ScenarioResult],
     timing: bool,
+    gate: Option<(f64, f64)>,
 ) -> Result<(), String> {
     let old_text = std::fs::read_to_string(old_path)
         .map_err(|e| format!("reading {}: {e}", old_path.display()))?;
@@ -189,6 +240,13 @@ fn run_compare(
     let new = to_json(results, timing);
     let cmp = compare(&old, &new)?;
     print!("{}", cmp.render());
+    if let Some((power_tol_uw, improvement_tol_pp)) = gate {
+        cmp.gate(power_tol_uw, improvement_tol_pp)
+            .map_err(|e| format!("gate: {e}"))?;
+        println!(
+            "gate passed (|dPower| <= {power_tol_uw} uW, |dImprovement| <= {improvement_tol_pp} pp)"
+        );
+    }
     Ok(())
 }
 
@@ -211,20 +269,55 @@ fn main() -> ExitCode {
         args.grid.seeds.len(),
         args.jobs,
     );
-    let results =
-        run_grid(&args.grid, args.jobs, |r| {
+
+    // One recorder observes the whole sweep: it feeds the per-scenario
+    // `obs` rollups in the JSON, the Chrome trace and the summary. With
+    // DVS_TRACE set, the classic stderr lines are teed alongside it.
+    let rec = Arc::new(Recorder::new());
+    if std::env::var_os("DVS_TRACE").is_some() {
+        dvs_obs::set_subscriber(Some(Arc::new(Tee(rec.clone(), StderrTracer))));
+    } else {
+        dvs_obs::set_subscriber(Some(rec.clone()));
+    }
+
+    let progress = Progress::new(total, args.jobs, args.deterministic);
+    let results = run_grid_obs(&args.grid, args.jobs, Some(&rec), |r| {
+        progress.scenario_done(r.wall_s);
+        if !progress.enabled() {
             eprintln!(
-            "  {:<28} {:>7} gates  cvs {:>6.2}%  dscale {:>6.2}%  gscale {:>6.2}%  ({:.2}s cpu)",
-            r.id, r.gates, r.cvs.improvement_pct, r.dscale.improvement_pct,
-            r.gscale.improvement_pct, r.cpu_s,
+                "  {:<28} {:>7} gates  cvs {:>6.2}%  dscale {:>6.2}%  gscale {:>6.2}%  ({:.2}s cpu)",
+                r.id, r.gates, r.cvs.improvement_pct, r.dscale.improvement_pct,
+                r.gscale.improvement_pct, r.cpu_s,
+            );
+        }
+    });
+    progress.finish();
+
+    dvs_obs::set_subscriber(None);
+    let trace = rec.drain();
+    if let Some(path) = &args.trace_out {
+        let doc = dvs_obs::chrome::render(&trace);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("dvs-sweep: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "dvs-sweep: wrote {} span(s) on {} thread(s) to {}",
+            trace.spans.len(),
+            trace.thread_labels.len().max(1),
+            path.display(),
         );
-        });
+    }
+    if args.obs_summary {
+        eprint!("{}", dvs_obs::summary::render(&trace, 12));
+    }
+
     if let Err(e) = write_results(&args.out, &results, !args.deterministic) {
         eprintln!("dvs-sweep: writing {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
     if let Some(old_path) = &args.compare {
-        if let Err(e) = run_compare(old_path, &results, !args.deterministic) {
+        if let Err(e) = run_compare(old_path, &results, !args.deterministic, args.gate) {
             eprintln!("dvs-sweep: --compare: {e}");
             return ExitCode::FAILURE;
         }

@@ -46,6 +46,7 @@ pub(crate) fn cvs_counted(
     guard_ns: f64,
     counters: &mut FlowCounters,
 ) -> CvsOutcome {
+    let _span = dvs_obs::span("cvs");
     let mut lowered = Vec::new();
     for g in net.reverse_topo_order() {
         let node = net.node(g);
@@ -67,7 +68,12 @@ pub(crate) fn cvs_counted(
         if demotion_fits(net, timing, &plan, guard_ns) {
             net.set_rail(g, Rail::Low);
             counters.rail_edits += 1;
-            counters.sta_events += timing.apply_gate_change(net, lib, g) as u64;
+            let events = timing.apply_gate_change(net, lib, g) as u64;
+            counters.sta_events += events;
+            // mirror into the metrics registry: this path bypasses the
+            // session's set_rail, so it must emit its own counters
+            dvs_obs::counter_add("session.rail_edits", 1);
+            dvs_obs::counter_add("session.sta_events", events);
             lowered.push(g);
         }
     }

@@ -89,12 +89,14 @@ pub fn dscale(net: &mut Network, lib: &Library, tspec_ns: f64, cfg: &FlowConfig)
 /// [`DscaleOutcome::counters`] cover exactly this call.
 pub fn dscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> DscaleOutcome {
     cfg.assert_valid();
+    let _span = dvs_obs::span("dscale");
     let entry = *sess.counters();
     let cvs_out = sess.run_cvs(cfg.guard_ns);
 
     let mut lowered = Vec::new();
     let mut iterations = 0;
     while iterations < MAX_ROUNDS {
+        let _iter_span = dvs_obs::span("dscale.iter");
         // activities drive the power weights; converters change the node
         // set, so re-simulate each round (cheap and deterministic)
         let acts = simulate(

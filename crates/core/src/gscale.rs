@@ -68,6 +68,7 @@ pub fn gscale(net: &mut Network, lib: &Library, tspec_ns: f64, cfg: &FlowConfig)
 /// cover exactly this call.
 pub fn gscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> GscaleOutcome {
     cfg.assert_valid();
+    let _span = dvs_obs::span("gscale");
     let entry = *sess.counters();
     let lib = sess.library();
     let area_before = total_area(sess.network(), lib);
@@ -100,6 +101,7 @@ pub fn gscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> GscaleOut
 
     while iterations < MAX_PUSHES && !tcb.is_empty() {
         iterations += 1;
+        let _iter_span = dvs_obs::span("gscale.iter");
         let cpn = critical_path_network(sess.network(), sess.timing(), &tcb, cfg.guard_ns);
         let cut = match separator_of(sess.network(), lib, sess.timing(), &cpn, &tcb, &banned) {
             Some(c) if !c.is_empty() => c,

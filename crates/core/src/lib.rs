@@ -57,7 +57,6 @@
 
 mod audit;
 mod config;
-mod cputime;
 mod cvs;
 mod demote;
 mod dscale;
@@ -67,10 +66,13 @@ mod session;
 
 pub use audit::{audit, AuditError};
 pub use config::FlowConfig;
-pub use cputime::{thread_cpu_raw_ns, thread_cpu_time, CpuLap, CpuTimer};
+// The CPU clocks moved to the observability crate (they time spans there
+// too); re-exported here so existing `dvs_core::CpuLap` callers keep
+// working unchanged.
 pub use cvs::{cvs, time_critical_boundary, CvsOutcome};
 pub use demote::{demotion_fits, DemotionPlan};
 pub use dscale::{dscale, dscale_session, DscaleOutcome};
+pub use dvs_obs::{thread_cpu_raw_ns, thread_cpu_time, CpuLap, CpuTimer};
 pub use gscale::{gscale, gscale_session, GscaleOutcome};
 pub use report::{measure_power, run_circuit, AlgoReport, CircuitRun};
-pub use session::{FlowCounters, FlowSession, TraceEvent, TraceHook};
+pub use session::{FlowCounters, FlowSession, TraceEvent};

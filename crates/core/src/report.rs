@@ -126,6 +126,7 @@ fn report(
 /// Panics if any algorithm breaks a timing/compatibility invariant.
 pub fn run_circuit(name: &str, prepared: &Prepared, lib: &Library, cfg: &FlowConfig) -> CircuitRun {
     cfg.assert_valid();
+    let _span = dvs_obs::span_with("circuit", || name.to_string());
     let tspec = prepared.tspec_ns;
     let area_org = total_area(&prepared.network, lib);
     let org_pwr = measure_power(&prepared.network, lib, cfg);

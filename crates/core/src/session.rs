@@ -22,10 +22,15 @@
 //!   a [`FlowCounters`] field, so a phase can prove properties like "zero
 //!   hot-path rebuilds" by differencing counters
 //!   ([`FlowCounters::since`]).
-//! * **Structured tracing** — the old `DVS_TRACE` eprintln sites now emit
-//!   typed [`TraceEvent`]s through a swappable hook
-//!   ([`FlowSession::set_trace`]). Setting the `DVS_TRACE` environment
-//!   variable installs a stderr printer that reproduces the old lines.
+//! * **Structured tracing** — the old `DVS_TRACE` eprintln sites emit
+//!   typed [`TraceEvent`]s as [`dvs_obs::instant`] events through the
+//!   process-global [`dvs_obs::Subscriber`] — one emit path for stderr
+//!   printing, trace capture, or both ([`dvs_obs::Tee`]). Setting the
+//!   `DVS_TRACE` environment variable installs the classic stderr printer
+//!   ([`dvs_obs::StderrTracer`]) rendering the same lines the eprintlns
+//!   used to produce. Every counter bump is also mirrored into the
+//!   metrics registry (`session.*` counters), so sweeps aggregate them
+//!   without touching `FlowCounters` plumbing.
 
 use dvs_celllib::Library;
 use dvs_netlist::{Checkpoint, Network, NodeId, Rail, SizeIx};
@@ -99,9 +104,11 @@ impl FlowCounters {
 
 /// A structured trace event emitted by the optimization phases.
 ///
-/// Replaces the former ad-hoc `DVS_TRACE` eprintln lines. Consumers install
-/// a hook with [`FlowSession::set_trace`]; with the `DVS_TRACE` environment
-/// variable set, sessions default to a stderr printer rendering the same
+/// Replaces the former ad-hoc `DVS_TRACE` eprintln lines. Events flow as
+/// [`dvs_obs::instant`]s (name = [`TraceEvent::name`], text =
+/// [`TraceEvent::render`]) to whatever [`dvs_obs::Subscriber`] is
+/// installed; with the `DVS_TRACE` environment variable set, sessions
+/// default-install the [`dvs_obs::StderrTracer`], which prints the same
 /// human-readable lines the eprintlns used to produce.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -151,38 +158,52 @@ pub enum TraceEvent {
     },
 }
 
-/// The trace hook signature: borrows each event, may mutate captured state.
-pub type TraceHook = Box<dyn FnMut(&TraceEvent)>;
+impl TraceEvent {
+    /// The stable instant-event name this variant is emitted under.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::GscaleIteration { .. } => "gscale.iteration",
+            TraceEvent::GscaleBatch { .. } => "gscale.batch",
+            TraceEvent::GscaleStop { .. } => "gscale.stop",
+            TraceEvent::PowerFallback { .. } => "power.fallback",
+            TraceEvent::Rollback { .. } => "session.rollback",
+        }
+    }
 
-fn stderr_trace(ev: &TraceEvent) {
-    match ev {
-        TraceEvent::GscaleIteration {
-            iteration,
-            tcb,
-            cpn,
-            cut,
-            area,
-            budget,
-            worst_slack_ns,
-        } => eprintln!(
-            "[gscale] iter {iteration}: tcb={tcb} cpn={cpn} cut={cut} \
-             area={area:.1}/{budget:.1} slack_before={worst_slack_ns:.4}"
-        ),
-        TraceEvent::GscaleBatch {
-            iteration,
-            applied,
-            worst_slack_ns,
-        } => eprintln!(
-            "[gscale] iter {iteration}: applied={applied} slack_after_batch={worst_slack_ns:.4}"
-        ),
-        TraceEvent::GscaleStop { iteration, reason } => {
-            eprintln!("[gscale] iter {iteration}: {reason} -> stop");
-        }
-        TraceEvent::PowerFallback { phase } => {
-            eprintln!("[{phase}] power fallback to the CVS snapshot");
-        }
-        TraceEvent::Rollback { nodes_touched } => {
-            eprintln!("[session] rollback touched {nodes_touched} nodes");
+    /// Renders the classic human-readable trace line (byte-compatible
+    /// with the historical `DVS_TRACE=1` stderr output).
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            TraceEvent::GscaleIteration {
+                iteration,
+                tcb,
+                cpn,
+                cut,
+                area,
+                budget,
+                worst_slack_ns,
+            } => format!(
+                "[gscale] iter {iteration}: tcb={tcb} cpn={cpn} cut={cut} \
+                 area={area:.1}/{budget:.1} slack_before={worst_slack_ns:.4}"
+            ),
+            TraceEvent::GscaleBatch {
+                iteration,
+                applied,
+                worst_slack_ns,
+            } => format!(
+                "[gscale] iter {iteration}: applied={applied} slack_after_batch={worst_slack_ns:.4}"
+            ),
+            TraceEvent::GscaleStop { iteration, reason } => {
+                format!("[gscale] iter {iteration}: {reason} -> stop")
+            }
+            TraceEvent::PowerFallback { phase } => {
+                format!("[{phase}] power fallback to the CVS snapshot")
+            }
+            TraceEvent::Rollback { nodes_touched } => {
+                format!("[session] rollback touched {nodes_touched} nodes")
+            }
         }
     }
 }
@@ -199,7 +220,6 @@ pub struct FlowSession<'l> {
     pub(crate) timing: Timing,
     pub(crate) tspec_ns: f64,
     pub(crate) counters: FlowCounters,
-    trace: Option<TraceHook>,
 }
 
 impl std::fmt::Debug for FlowSession<'_> {
@@ -209,7 +229,6 @@ impl std::fmt::Debug for FlowSession<'_> {
             .field("nodes", &self.net.node_count())
             .field("tspec_ns", &self.tspec_ns)
             .field("counters", &self.counters)
-            .field("trace", &self.trace.is_some())
             .finish()
     }
 }
@@ -219,14 +238,15 @@ impl<'l> FlowSession<'l> {
     /// timing analysis (counted in [`FlowCounters::full_analyses`]) that
     /// every subsequent edit keeps incrementally up to date.
     ///
-    /// With the `DVS_TRACE` environment variable set, a stderr trace
-    /// printer is installed (swap it with [`FlowSession::set_trace`]).
+    /// With the `DVS_TRACE` environment variable set (and no
+    /// [`dvs_obs::Subscriber`] installed yet), the classic stderr trace
+    /// printer is installed process-globally.
     pub fn new(mut net: Network, lib: &'l Library, tspec_ns: f64) -> Self {
+        dvs_obs::install_stderr_tracer_from_env();
         net.enable_journal();
         let timing = Timing::analyze(&net, lib, tspec_ns);
-        let trace: Option<TraceHook> = std::env::var_os("DVS_TRACE")
-            .is_some()
-            .then(|| Box::new(stderr_trace as fn(&TraceEvent)) as TraceHook);
+        dvs_obs::counter_add("session.full_analyses", 1);
+        dvs_obs::gauge_set("session.nodes", net.node_count() as f64);
         FlowSession {
             net,
             lib,
@@ -236,7 +256,6 @@ impl<'l> FlowSession<'l> {
                 full_analyses: 1,
                 ..FlowCounters::default()
             },
-            trace,
         }
     }
 
@@ -265,17 +284,10 @@ impl<'l> FlowSession<'l> {
         &self.counters
     }
 
-    /// Installs (or clears) the trace hook. Replaces any previous hook,
-    /// including the `DVS_TRACE` stderr printer.
-    pub fn set_trace(&mut self, hook: Option<TraceHook>) {
-        self.trace = hook;
-    }
-
-    /// Emits a trace event to the installed hook, if any.
-    pub(crate) fn emit(&mut self, ev: TraceEvent) {
-        if let Some(hook) = self.trace.as_mut() {
-            hook(&ev);
-        }
+    /// Emits a trace event as a [`dvs_obs::instant`] — rendered lazily,
+    /// only when a subscriber is installed.
+    pub(crate) fn emit(&self, ev: TraceEvent) {
+        dvs_obs::instant(ev.name(), || ev.render());
     }
 
     /// Reassigns `g`'s supply rail and incrementally re-times the affected
@@ -283,8 +295,10 @@ impl<'l> FlowSession<'l> {
     pub fn set_rail(&mut self, g: NodeId, rail: Rail) -> usize {
         self.net.set_rail(g, rail);
         self.counters.rail_edits += 1;
+        dvs_obs::counter_add("session.rail_edits", 1);
         let events = self.timing.apply_gate_change(&self.net, self.lib, g);
         self.counters.sta_events += events as u64;
+        dvs_obs::counter_add("session.sta_events", events as u64);
         events
     }
 
@@ -293,8 +307,10 @@ impl<'l> FlowSession<'l> {
     pub fn set_size(&mut self, g: NodeId, size: SizeIx) -> usize {
         self.net.set_size(g, size);
         self.counters.size_edits += 1;
+        dvs_obs::counter_add("session.size_edits", 1);
         let events = self.timing.apply_gate_change(&self.net, self.lib, g);
         self.counters.sta_events += events as u64;
+        dvs_obs::counter_add("session.sta_events", events as u64);
         events
     }
 
@@ -317,10 +333,13 @@ impl<'l> FlowSession<'l> {
             .insert_converter(driver, sinks, cover_outputs, self.lib.converter())?;
         self.counters.converters_inserted += 1;
         self.counters.rebuilds_avoided += 1;
+        dvs_obs::counter_add("session.converters_inserted", 1);
+        dvs_obs::counter_add("session.rebuilds_avoided", 1);
         let events = self
             .timing
             .apply_converter_insertion(&self.net, self.lib, conv);
         self.counters.sta_events += events as u64;
+        dvs_obs::counter_add("session.sta_events", events as u64);
         Ok(conv)
     }
 
@@ -338,16 +357,20 @@ impl<'l> FlowSession<'l> {
         let driver = driver.expect("remove_converter validated a single fanin");
         self.counters.converters_removed += 1;
         self.counters.rebuilds_avoided += 1;
+        dvs_obs::counter_add("session.converters_removed", 1);
+        dvs_obs::counter_add("session.rebuilds_avoided", 1);
         let events = self
             .timing
             .apply_converter_removal(&self.net, self.lib, conv, driver);
         self.counters.sta_events += events as u64;
+        dvs_obs::counter_add("session.sta_events", events as u64);
         Ok(())
     }
 
     /// Takes an O(1) transaction checkpoint of the current network state.
     pub fn checkpoint(&mut self) -> Checkpoint {
         self.counters.checkpoints += 1;
+        dvs_obs::counter_add("session.checkpoints", 1);
         self.net.checkpoint()
     }
 
@@ -361,6 +384,8 @@ impl<'l> FlowSession<'l> {
         self.timing = Timing::analyze(&self.net, self.lib, self.tspec_ns);
         self.counters.rollbacks += 1;
         self.counters.full_analyses += 1;
+        dvs_obs::counter_add("session.rollbacks", 1);
+        dvs_obs::counter_add("session.full_analyses", 1);
         self.emit(TraceEvent::Rollback {
             nodes_touched: touched.len(),
         });
@@ -373,6 +398,7 @@ impl<'l> FlowSession<'l> {
     pub fn rebuild_timing(&mut self) {
         self.timing.rebuild(&self.net, self.lib);
         self.counters.hot_rebuilds += 1;
+        dvs_obs::counter_add("session.hot_rebuilds", 1);
     }
 
     /// Runs a [CVS](crate::cvs) pass inside the session, counting each
@@ -524,22 +550,41 @@ mod tests {
     }
 
     #[test]
-    fn trace_hook_receives_events() {
+    fn trace_events_flow_through_the_obs_subscriber() {
+        // Installs the process-global subscriber: other tests running
+        // concurrently in this binary may record into it too, so all
+        // assertions filter down to this thread's records.
         let lib = lib();
         let net = chain(&lib, 4);
         let mut sess = FlowSession::new(net, &lib, 100.0);
-        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        let sink = seen.clone();
-        sess.set_trace(Some(Box::new(move |ev: &TraceEvent| {
-            sink.borrow_mut().push(format!("{ev:?}"));
-        })));
+        let rec = std::sync::Arc::new(dvs_obs::Recorder::new());
+        dvs_obs::set_subscriber(Some(rec.clone()));
+        let mark = rec.mark();
         let cp = sess.checkpoint();
         let g = sess.network().gate_ids().next().unwrap();
         sess.set_rail(g, Rail::Low);
         sess.rollback(cp);
-        let events = seen.borrow();
-        assert_eq!(events.len(), 1);
-        assert!(events[0].contains("Rollback"));
+        let roll = rec.rollup_since(&mark);
+        dvs_obs::set_subscriber(None);
+        let tid = dvs_obs::current_tid();
+        let trace = rec.drain();
+
+        let mine: Vec<_> = trace.instants.iter().filter(|i| i.tid == tid).collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].name, "session.rollback");
+        assert!(mine[0].text.contains("rollback touched"));
+
+        // the FlowCounters mirror reached the metrics registry too
+        let counter = |name: &str| {
+            roll.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        assert_eq!(counter("session.rail_edits"), 1);
+        assert_eq!(counter("session.checkpoints"), 1);
+        assert_eq!(counter("session.rollbacks"), 1);
+        assert!(counter("session.sta_events") > 0);
     }
 
     #[test]

@@ -104,6 +104,7 @@ impl FlowGraph {
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
         assert!(s < self.n && t < self.n && s != t, "bad terminals");
         let mut total: u64 = 0;
+        let mut paths: u64 = 0;
         let mut pred: Vec<Option<u32>> = vec![None; self.n];
         let mut queue: Vec<u32> = Vec::with_capacity(self.n);
         loop {
@@ -129,6 +130,7 @@ impl FlowGraph {
                 }
             }
             if !found {
+                dvs_obs::hist_record("flow.augmenting_paths", paths);
                 return total;
             }
             // bottleneck
@@ -147,6 +149,7 @@ impl FlowGraph {
                 self.cap[e ^ 1] += bottleneck;
                 v = self.to[e ^ 1] as usize;
             }
+            paths += 1;
             total = total.saturating_add(bottleneck);
         }
     }

@@ -82,6 +82,7 @@ pub fn min_vertex_separator(problem: &SeparatorProblem) -> Option<SeparatorResul
         .filter(|&v| side[v_in(v)] && !side[v_out(v)])
         .collect();
     nodes.sort_unstable();
+    dvs_obs::hist_record("flow.separator_size", nodes.len() as u64);
     Some(SeparatorResult {
         nodes,
         weight: value,

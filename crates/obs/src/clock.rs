@@ -26,7 +26,20 @@
 //! moved yet), but the missing time then surfaces in the lap where the
 //! tick lands instead of vanishing.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Monotonic nanoseconds since the first observability clock read of this
+/// process — the common timeline all span timestamps share, so events from
+/// different threads land on one trace axis.
+///
+/// The epoch is pinned lazily by the first caller; every later reading is
+/// `Instant`-monotonic against it.
+pub fn wall_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
 
 /// Reads this thread's cumulative on-CPU time as raw nanoseconds, if the
 /// platform exposes it.
@@ -125,6 +138,15 @@ impl CpuLap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_ns_is_monotone() {
+        let a = wall_ns();
+        let b = wall_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        let c = wall_ns();
+        assert!(a <= b && b < c, "{a} {b} {c}");
+    }
 
     #[test]
     fn busy_loop_accumulates_cpu_time() {

@@ -1,0 +1,469 @@
+//! The buffering [`Recorder`] subscriber: per-thread sinks, deterministic
+//! merge ([`Recorder::drain`]) and thread-scoped windowed rollups
+//! ([`Recorder::mark`] / [`Recorder::rollup_since`]).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::record::{Hist, InstantRecord, SpanRecord};
+use crate::Subscriber;
+
+/// A [`Subscriber`] that buffers spans and instants verbatim and
+/// aggregates metrics immediately (per-edit histogram samples arrive at
+/// ~10⁵/scenario; keeping raw samples would dwarf the workload itself).
+///
+/// Each thread writes to its own sink behind its own mutex, so the only
+/// cross-thread contention is the brief registry read on a thread's first
+/// record. Sinks are owned by the recorder, not by thread-local storage,
+/// so records survive thread exit and [`Recorder::drain`] needs no TLS
+/// destructors to have run.
+#[derive(Default)]
+pub struct Recorder {
+    sinks: RwLock<BTreeMap<u32, Arc<ThreadSink>>>,
+}
+
+#[derive(Default)]
+struct ThreadSink {
+    data: Mutex<SinkData>,
+}
+
+#[derive(Default)]
+struct SinkData {
+    spans: Vec<SpanRecord>,
+    instants: Vec<InstantRecord>,
+    counters: BTreeMap<&'static str, u64>,
+    /// value and number of sets, so windowed rollups can tell "set again
+    /// to the same value" from "not touched".
+    gauges: BTreeMap<&'static str, (f64, u64)>,
+    hists: BTreeMap<&'static str, Hist>,
+    label: Option<String>,
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    fn sink(&self, tid: u32) -> Arc<ThreadSink> {
+        if let Some(sink) = self.sinks.read().expect("recorder poisoned").get(&tid) {
+            return Arc::clone(sink);
+        }
+        let mut sinks = self.sinks.write().expect("recorder poisoned");
+        Arc::clone(sinks.entry(tid).or_default())
+    }
+
+    /// Snapshots the calling thread's sink so a later
+    /// [`Recorder::rollup_since`] can report only what this thread
+    /// recorded in between. Cheap relative to a scenario: clones the
+    /// aggregate maps, not the raw span/instant buffers.
+    #[must_use]
+    pub fn mark(&self) -> ObsMark {
+        let tid = crate::current_tid();
+        let sink = self.sink(tid);
+        let data = sink.data.lock().expect("recorder poisoned");
+        ObsMark {
+            tid,
+            spans_len: data.spans.len(),
+            counters: data.counters.clone(),
+            gauges: data.gauges.clone(),
+            hists: data.hists.clone(),
+        }
+    }
+
+    /// Aggregates everything the marked thread recorded since `mark` into
+    /// a value-deterministic [`Rollup`]: same records in → same rollup
+    /// out, independent of worker count or interleaving, because the
+    /// window only ever sees one thread's stream.
+    ///
+    /// Spans still open at the call (e.g. the scenario span the window
+    /// lives inside) have not been recorded yet and are excluded.
+    #[must_use]
+    pub fn rollup_since(&self, mark: &ObsMark) -> Rollup {
+        let sink = self.sink(mark.tid);
+        let data = sink.data.lock().expect("recorder poisoned");
+        let window = &data.spans[mark.spans_len.min(data.spans.len())..];
+        let self_ns = self_durations(window);
+        let mut spans: BTreeMap<&'static str, SpanRollup> = BTreeMap::new();
+        for (span, self_ns) in window.iter().zip(self_ns) {
+            let agg = spans.entry(span.name).or_insert_with(|| SpanRollup {
+                name: span.name.to_string(),
+                ..SpanRollup::default()
+            });
+            agg.count += 1;
+            agg.wall_ns = agg.wall_ns.saturating_add(span.dur_ns);
+            agg.self_ns = agg.self_ns.saturating_add(self_ns);
+            agg.cpu_ns = agg.cpu_ns.saturating_add(span.cpu_ns);
+        }
+        let counters = data
+            .counters
+            .iter()
+            .filter_map(|(&name, &now)| {
+                let delta = now - mark.counters.get(name).copied().unwrap_or(0);
+                (delta > 0).then(|| (name.to_string(), delta))
+            })
+            .collect();
+        let gauges = data
+            .gauges
+            .iter()
+            .filter_map(|(&name, &(value, sets))| {
+                let earlier_sets = mark.gauges.get(name).map_or(0, |&(_, s)| s);
+                (sets > earlier_sets).then(|| (name.to_string(), value))
+            })
+            .collect();
+        let hists = data
+            .hists
+            .iter()
+            .filter_map(|(&name, hist)| {
+                // always diff (against an empty hist when the mark has no
+                // entry) so min/max come from since()'s bucket bounds on
+                // both paths — a window's rollup must not depend on what
+                // the thread recorded before the mark
+                let window = match mark.hists.get(name) {
+                    Some(earlier) => hist.since(earlier),
+                    None => hist.since(&Hist::default()),
+                };
+                (window.count > 0).then(|| HistRollup::from_hist(name, &window))
+            })
+            .collect();
+        Rollup {
+            spans: spans.into_values().collect(),
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
+    /// Takes every buffered record, leaving the recorder empty. Threads
+    /// are merged in observability-tid order (their registration order)
+    /// with each thread's records in their original sequence order, so
+    /// the layout is deterministic for any interleaving.
+    ///
+    /// Uninstall the recorder ([`crate::set_subscriber`]`(None)`) first;
+    /// records arriving during the drain land in whichever side of the
+    /// split the writer's registry lookup wins.
+    #[must_use]
+    pub fn drain(&self) -> Trace {
+        let sinks = std::mem::take(&mut *self.sinks.write().expect("recorder poisoned"));
+        let mut trace = Trace::default();
+        for (tid, sink) in sinks {
+            let mut data = sink.data.lock().expect("recorder poisoned");
+            trace.spans.append(&mut data.spans);
+            trace.instants.append(&mut data.instants);
+            for (name, delta) in std::mem::take(&mut data.counters) {
+                *trace.counters.entry(name.to_string()).or_insert(0) += delta;
+            }
+            for (name, (value, _)) in std::mem::take(&mut data.gauges) {
+                trace.gauges.insert(name.to_string(), value);
+            }
+            for (name, hist) in std::mem::take(&mut data.hists) {
+                trace
+                    .hists
+                    .entry(name.to_string())
+                    .or_default()
+                    .merge(&hist);
+            }
+            if let Some(label) = data.label.take() {
+                trace.thread_labels.insert(tid, label);
+            }
+        }
+        trace
+    }
+}
+
+impl Subscriber for Recorder {
+    fn span_end(&self, rec: SpanRecord) {
+        let sink = self.sink(rec.tid);
+        sink.data.lock().expect("recorder poisoned").spans.push(rec);
+    }
+
+    fn counter(&self, tid: u32, _seq: u64, name: &'static str, delta: u64) {
+        let sink = self.sink(tid);
+        let mut data = sink.data.lock().expect("recorder poisoned");
+        *data.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, tid: u32, _seq: u64, name: &'static str, value: f64) {
+        let sink = self.sink(tid);
+        let mut data = sink.data.lock().expect("recorder poisoned");
+        let entry = data.gauges.entry(name).or_insert((value, 0));
+        entry.0 = value;
+        entry.1 += 1;
+    }
+
+    fn histogram(&self, tid: u32, _seq: u64, name: &'static str, value: u64) {
+        let sink = self.sink(tid);
+        let mut data = sink.data.lock().expect("recorder poisoned");
+        data.hists.entry(name).or_default().record(value);
+    }
+
+    fn instant(&self, rec: InstantRecord) {
+        let sink = self.sink(rec.tid);
+        sink.data
+            .lock()
+            .expect("recorder poisoned")
+            .instants
+            .push(rec);
+    }
+
+    fn thread_label(&self, tid: u32, label: &str) {
+        let sink = self.sink(tid);
+        sink.data.lock().expect("recorder poisoned").label = Some(label.to_string());
+    }
+}
+
+/// A per-thread snapshot taken by [`Recorder::mark`].
+pub struct ObsMark {
+    tid: u32,
+    spans_len: usize,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, (f64, u64)>,
+    hists: BTreeMap<&'static str, Hist>,
+}
+
+/// Everything one thread recorded inside a mark…rollup window, aggregated
+/// by name. All vectors are sorted by name (built from `BTreeMap`s).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Rollup {
+    /// Per-span-name totals, sorted by name.
+    pub spans: Vec<SpanRollup>,
+    /// Counter deltas over the window (zero deltas omitted), sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Final values of gauges set during the window, sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram windows with at least one sample, sorted by name.
+    pub hists: Vec<HistRollup>,
+}
+
+impl Rollup {
+    /// `true` when the window recorded nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+    }
+
+    /// Zeroes every nanosecond field, leaving counts and values intact —
+    /// used under `--deterministic` so rollups are byte-identical across
+    /// runs and worker counts while still proving the span structure.
+    pub fn zero_timing(&mut self) {
+        for s in &mut self.spans {
+            s.wall_ns = 0;
+            s.self_ns = 0;
+            s.cpu_ns = 0;
+        }
+    }
+}
+
+/// Aggregated totals for one span name within a [`Rollup`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanRollup {
+    /// Span name.
+    pub name: String,
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Total wall time, ns.
+    pub wall_ns: u64,
+    /// Total self time (wall minus direct children), ns.
+    pub self_ns: u64,
+    /// Total on-CPU time, ns.
+    pub cpu_ns: u64,
+}
+
+/// A histogram window within a [`Rollup`] (sparse bucket form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRollup {
+    /// Histogram name.
+    pub name: String,
+    /// Samples in the window.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Bucket lower bound of the smallest windowed sample (bucket
+    /// resolution by design; see [`Hist::since`]). 0 when empty.
+    pub min: u64,
+    /// Bucket lower bound of the largest windowed sample.
+    pub max: u64,
+    /// `(bucket index, count)` for non-empty buckets.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistRollup {
+    fn from_hist(name: &str, hist: &Hist) -> Self {
+        HistRollup {
+            name: name.to_string(),
+            count: hist.count,
+            sum: hist.sum,
+            min: if hist.count == 0 { 0 } else { hist.min },
+            max: hist.max,
+            buckets: hist.sparse(),
+        }
+    }
+}
+
+/// Everything a [`Recorder`] buffered, merged deterministically by
+/// [`Recorder::drain`].
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All completed spans, grouped by thread in tid order.
+    pub spans: Vec<SpanRecord>,
+    /// All instant events, grouped by thread in tid order.
+    pub instants: Vec<InstantRecord>,
+    /// Counter totals across all threads, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge final values (highest-tid writer wins), by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram totals across all threads, by name.
+    pub hists: BTreeMap<String, Hist>,
+    /// Thread labels set via [`crate::set_thread_label`], by tid.
+    pub thread_labels: BTreeMap<u32, String>,
+}
+
+/// Self time (duration minus direct children's durations) for each span,
+/// index-aligned with the input. Parents outside the slice simply collect
+/// no children — windows stay self-consistent.
+#[must_use]
+pub fn self_durations(spans: &[SpanRecord]) -> Vec<u64> {
+    let mut index: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        index.insert((s.tid, s.enter_seq), i);
+    }
+    let mut child_ns = vec![0u64; spans.len()];
+    for s in spans {
+        if let Some(parent) = s.parent_enter_seq {
+            if let Some(&pi) = index.get(&(s.tid, parent)) {
+                child_ns[pi] = child_ns[pi].saturating_add(s.dur_ns);
+            }
+        }
+    }
+    spans
+        .iter()
+        .zip(child_ns)
+        .map(|(s, c)| s.dur_ns.saturating_sub(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+    use crate::{counter_add, gauge_set, hist_record, set_subscriber, span};
+
+    #[test]
+    fn mark_and_rollup_window_one_thread() {
+        let _serial = test_support::serial();
+        let rec = Arc::new(Recorder::new());
+        set_subscriber(Some(rec.clone()));
+        counter_add("edits", 5);
+        hist_record("h", 4);
+        let mark = rec.mark();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        counter_add("edits", 2);
+        gauge_set("nodes", 42.0);
+        hist_record("h", 9);
+        let roll = rec.rollup_since(&mark);
+        set_subscriber(None);
+        let _ = rec.drain();
+
+        let names: Vec<&str> = roll.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["inner", "outer"]);
+        assert_eq!(roll.counters, vec![("edits".to_string(), 2)]);
+        assert_eq!(roll.gauges, vec![("nodes".to_string(), 42.0)]);
+        assert_eq!(roll.hists.len(), 1);
+        let h = &roll.hists[0];
+        assert_eq!((h.count, h.sum), (1, 9));
+        assert_eq!(h.buckets, vec![(crate::bucket_of(9), 1)]);
+    }
+
+    #[test]
+    fn rollup_zero_timing_keeps_structure() {
+        let mut roll = Rollup {
+            spans: vec![SpanRollup {
+                name: "x".into(),
+                count: 3,
+                wall_ns: 10,
+                self_ns: 5,
+                cpu_ns: 2,
+            }],
+            ..Rollup::default()
+        };
+        roll.zero_timing();
+        assert_eq!(roll.spans[0].count, 3);
+        assert_eq!(
+            (
+                roll.spans[0].wall_ns,
+                roll.spans[0].self_ns,
+                roll.spans[0].cpu_ns
+            ),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn drain_merges_threads_in_tid_order() {
+        let _serial = test_support::serial();
+        let rec = Arc::new(Recorder::new());
+        set_subscriber(Some(rec.clone()));
+        {
+            let _a = span("main-span");
+            counter_add("c", 1);
+        }
+        let handles: Vec<_> = (0..3)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    crate::set_thread_label(|| format!("worker-{k}"));
+                    let _s = span("worker-span");
+                    counter_add("c", 1);
+                    hist_record("h", k);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_subscriber(None);
+        let trace = rec.drain();
+        assert_eq!(trace.spans.len(), 4);
+        assert_eq!(trace.counters["c"], 4);
+        assert_eq!(trace.hists["h"].count, 3);
+        assert_eq!(trace.thread_labels.len(), 3);
+        // tids strictly grouped and non-decreasing across the merge
+        let tids: Vec<u32> = trace.spans.iter().map(|s| s.tid).collect();
+        let mut sorted = tids.clone();
+        sorted.sort_unstable();
+        assert_eq!(tids, sorted);
+        // recorder is empty after the drain
+        assert!(rec.drain().spans.is_empty());
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let mk = |enter, exit, parent, dur| SpanRecord {
+            tid: 1,
+            enter_seq: enter,
+            exit_seq: exit,
+            parent_enter_seq: parent,
+            depth: 0,
+            name: "s",
+            detail: None,
+            start_ns: 0,
+            dur_ns: dur,
+            cpu_ns: 0,
+        };
+        // grandparent(1..8) > parent(2..7) > child(3..4), plus sibling(5..6)
+        let spans = vec![
+            mk(3, 4, Some(2), 10),
+            mk(5, 6, Some(2), 20),
+            mk(2, 7, Some(1), 100),
+            mk(1, 8, None, 1000),
+        ];
+        let self_ns = self_durations(&spans);
+        assert_eq!(self_ns, vec![10, 20, 70, 900]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Compact text summary of a drained [`Trace`]: top span names by total
+//! self-time, plus one line per histogram. Backs `dvs-sweep
+//! --obs-summary`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::recorder::{self_durations, Trace};
+
+struct NameAgg {
+    count: u64,
+    wall_ns: u64,
+    self_ns: u64,
+    cpu_ns: u64,
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the top `top` span names by total self-time (wall time minus
+/// direct children), with call counts and CPU totals, followed by the
+/// trace's histograms. Deterministic: ties break by span name.
+#[must_use]
+pub fn render(trace: &Trace, top: usize) -> String {
+    let self_ns = self_durations(&trace.spans);
+    let mut by_name: BTreeMap<&str, NameAgg> = BTreeMap::new();
+    for (span, self_ns) in trace.spans.iter().zip(self_ns) {
+        let agg = by_name.entry(span.name).or_insert(NameAgg {
+            count: 0,
+            wall_ns: 0,
+            self_ns: 0,
+            cpu_ns: 0,
+        });
+        agg.count += 1;
+        agg.wall_ns = agg.wall_ns.saturating_add(span.dur_ns);
+        agg.self_ns = agg.self_ns.saturating_add(self_ns);
+        agg.cpu_ns = agg.cpu_ns.saturating_add(span.cpu_ns);
+    }
+    let mut rows: Vec<(&str, NameAgg)> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(b.0)));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "top spans by self-time ({} spans, {} names):",
+        trace.spans.len(),
+        rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>8} {:>12} {:>12} {:>12}",
+        "span", "count", "self ms", "wall ms", "cpu ms"
+    );
+    for (name, agg) in rows.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            name,
+            agg.count,
+            ms(agg.self_ns),
+            ms(agg.wall_ns),
+            ms(agg.cpu_ns)
+        );
+    }
+    if !trace.hists.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, hist) in &trace.hists {
+            if hist.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<28} n={} sum={} min={} max={} mean={:.2}",
+                name,
+                hist.count,
+                hist.sum,
+                hist.min,
+                hist.max,
+                hist.sum as f64 / hist.count as f64
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SpanRecord;
+
+    #[test]
+    fn summary_orders_by_self_time() {
+        let mk = |name, enter, exit, parent, dur| SpanRecord {
+            tid: 1,
+            enter_seq: enter,
+            exit_seq: exit,
+            parent_enter_seq: parent,
+            depth: 0,
+            name,
+            detail: None,
+            start_ns: 0,
+            dur_ns: dur,
+            cpu_ns: dur / 2,
+        };
+        let mut trace = Trace::default();
+        // parent 100ns with a 90ns child: parent self = 10, child self = 90
+        trace.spans.push(mk("child", 2, 3, Some(1), 90));
+        trace.spans.push(mk("parent", 1, 4, None, 100));
+        trace.hists.entry("h".into()).or_default().record(4);
+        let text = render(&trace, 10);
+        let child_at = text.find("child").unwrap();
+        let parent_at = text.find("parent").unwrap();
+        assert!(child_at < parent_at, "child has more self-time:\n{text}");
+        assert!(text.contains("n=1 sum=4 min=4 max=4"));
+    }
+
+    #[test]
+    fn top_limits_rows() {
+        let mut trace = Trace::default();
+        for (i, name) in ["a", "b", "c"].into_iter().enumerate() {
+            trace.spans.push(SpanRecord {
+                tid: 1,
+                enter_seq: (i as u64) * 2 + 1,
+                exit_seq: (i as u64) * 2 + 2,
+                parent_enter_seq: None,
+                depth: 0,
+                name,
+                detail: None,
+                start_ns: 0,
+                dur_ns: 100 - i as u64,
+                cpu_ns: 0,
+            });
+        }
+        let text = render(&trace, 2);
+        assert!(text.contains(" a "));
+        assert!(text.contains(" b "));
+        assert!(!text.contains(" c "));
+    }
+}

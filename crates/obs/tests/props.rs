@@ -1,0 +1,133 @@
+//! Property tests over the span machinery: arbitrary interleavings of
+//! open/close/record operations always yield balanced, properly nested
+//! span records with truthful parentage, and recording the same program
+//! twice yields the same structure (the per-thread determinism the sweep
+//! relies on across worker counts).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use dvs_obs::{Recorder, SpanGuard, SpanRecord};
+use proptest::prelude::*;
+
+/// Tests here install the process-global subscriber; serialize them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const NAMES: [&str; 4] = ["scenario", "circuit", "phase", "iter"];
+
+/// Replays `ops` against the real span API on a fresh thread (fresh tid,
+/// so runs cannot see each other's spans) and returns that thread's
+/// records. op % 3: 0 → open span, 1 → close innermost, 2 → metric+
+/// instant noise. All spans still open at the end close in LIFO order.
+fn run_program(ops: &[u8]) -> Vec<SpanRecord> {
+    let ops = ops.to_vec();
+    let rec = Arc::new(Recorder::new());
+    dvs_obs::set_subscriber(Some(rec.clone()));
+    let tid = std::thread::spawn(move || {
+        let mut stack: Vec<SpanGuard> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op % 3 {
+                0 => stack.push(dvs_obs::span_with(NAMES[i % NAMES.len()], || {
+                    format!("op {i}")
+                })),
+                1 => {
+                    stack.pop();
+                }
+                _ => {
+                    dvs_obs::counter_add("noise", 1);
+                    dvs_obs::hist_record("noise.h", i as u64);
+                    dvs_obs::instant("noise.i", String::new);
+                }
+            }
+        }
+        drop(stack);
+        dvs_obs::current_tid()
+    })
+    .join()
+    .expect("program thread panicked");
+    dvs_obs::set_subscriber(None);
+    let trace = rec.drain();
+    trace.spans.into_iter().filter(|s| s.tid == tid).collect()
+}
+
+fn opens_in(ops: &[u8]) -> usize {
+    ops.iter().filter(|&&op| op % 3 == 0).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nesting_is_always_balanced(ops in proptest::collection::vec(any::<u8>(), 0..60)) {
+        let _serial = serial();
+        let spans = run_program(&ops);
+        // every open produces exactly one record (balanced enter/exit)
+        prop_assert_eq!(spans.len(), opens_in(&ops));
+        for s in &spans {
+            prop_assert!(s.enter_seq < s.exit_seq, "span interval inverted");
+        }
+        // intervals are laminar: any two are nested or disjoint
+        for a in &spans {
+            for b in &spans {
+                if a.enter_seq == b.enter_seq {
+                    continue;
+                }
+                let nested = (a.enter_seq < b.enter_seq && b.exit_seq < a.exit_seq)
+                    || (b.enter_seq < a.enter_seq && a.exit_seq < b.exit_seq);
+                let disjoint = a.exit_seq < b.enter_seq || b.exit_seq < a.enter_seq;
+                prop_assert!(nested ^ disjoint, "spans overlap without nesting");
+            }
+        }
+        // parentage is truthful: the parent's interval contains the child's,
+        // and it is the *tightest* such interval
+        for s in &spans {
+            match s.parent_enter_seq {
+                None => {
+                    for t in &spans {
+                        if t.enter_seq < s.enter_seq && s.exit_seq < t.exit_seq {
+                            prop_assert!(false, "root span has an enclosing span");
+                        }
+                    }
+                    prop_assert_eq!(s.depth, 0);
+                }
+                Some(p) => {
+                    let parent = spans.iter().find(|t| t.enter_seq == p)
+                        .expect("parent record exists");
+                    prop_assert!(parent.enter_seq < s.enter_seq);
+                    prop_assert!(s.exit_seq < parent.exit_seq);
+                    prop_assert_eq!(s.depth, parent.depth + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_program_records_same_structure(ops in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let _serial = serial();
+        type Shape = (u64, u64, Option<u64>, u32, &'static str, Option<String>);
+        let strip = |spans: Vec<SpanRecord>| -> Vec<Shape> {
+            // keep the structural fields; drop tid and timing, which vary
+            // per run by construction
+            let base = spans.iter().map(|s| s.enter_seq).min().unwrap_or(0);
+            spans
+                .into_iter()
+                .map(|s| {
+                    (
+                        s.enter_seq - base,
+                        s.exit_seq - base,
+                        s.parent_enter_seq.map(|p| p - base),
+                        s.depth,
+                        s.name,
+                        s.detail,
+                    )
+                })
+                .collect()
+        };
+        let first = strip(run_program(&ops));
+        let second = strip(run_program(&ops));
+        prop_assert_eq!(first, second);
+    }
+}

@@ -222,7 +222,9 @@ impl Timing {
             seeds.push(id);
             seeds.extend_from_slice(net.fanins(id));
         }
-        events + self.propagate_backward(net, seeds.into_iter())
+        events += self.propagate_backward(net, seeds.into_iter());
+        dvs_obs::hist_record("sta.events_per_change", events as u64);
+        events
     }
 
     /// Incrementally absorbs a [`Network::insert_converter`] edit: grows the
@@ -265,7 +267,9 @@ impl Timing {
         let bwd = [conv, driver]
             .into_iter()
             .chain(net.fanins(driver).iter().copied());
-        events + self.propagate_backward(net, bwd)
+        events += self.propagate_backward(net, bwd);
+        dvs_obs::hist_record("sta.events_per_change", events as u64);
+        events
     }
 
     /// Incrementally absorbs a [`Network::remove_converter`] edit: resets
@@ -298,7 +302,9 @@ impl Timing {
         let fwd = std::iter::once(driver).chain(net.fanouts(driver).iter().copied());
         events += self.propagate_forward(net, fwd);
         let bwd = std::iter::once(driver).chain(net.fanins(driver).iter().copied());
-        events + self.propagate_backward(net, bwd)
+        events += self.propagate_backward(net, bwd);
+        dvs_obs::hist_record("sta.events_per_change", events as u64);
+        events
     }
 
     /// Recounts `po_sinks` for just the given nodes by scanning the

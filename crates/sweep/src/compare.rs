@@ -4,17 +4,27 @@
 //! Joins the scenarios of an old and a new `BENCH_sweep.json` by id and
 //! reports per-scenario power / improvement / runtime deltas (new − old),
 //! plus ids present on only one side. Both documents must carry a schema
-//! tag this crate can read (`dvs-sweep/v1` or `dvs-sweep/v2`) — anything
+//! tag this crate can read (`dvs-sweep/v1`, `v2` or `v3`) — anything
 //! else is an error, which the CLI turns into a nonzero exit.
+//!
+//! When both sides are `v3` (or otherwise carry per-scenario `obs`
+//! objects), the diff additionally reports per-phase **self-time** deltas
+//! from the span rollups, so a "Gscale got 2× slower" regression is
+//! visible next to the power columns it did not move. The measurement
+//! gate ([`Comparison::gate`]) never consumes those timing deltas — CI
+//! machines are too noisy for wall-clock gating — only power and
+//! improvement, which are deterministic.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use crate::json::Json;
 
-/// Schema tags [`compare`] can read. `v1` documents merely lack the `sta`
-/// counter objects, which the diff does not consume.
-pub const READABLE_SCHEMAS: [&str; 2] = ["dvs-sweep/v1", "dvs-sweep/v2"];
+/// Schema tags [`compare`] can read. `v1` documents lack the `sta`
+/// counter objects (which the diff does not consume) and, like `v2`, the
+/// per-scenario `obs` rollups (whose absence just yields empty phase
+/// deltas).
+pub const READABLE_SCHEMAS: [&str; 3] = ["dvs-sweep/v1", "dvs-sweep/v2", "dvs-sweep/v3"];
 
 /// Per-algorithm deltas of one scenario, new − old.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -25,6 +35,18 @@ pub struct AlgoDelta {
     pub improvement_pct: f64,
     /// Algorithm CPU-seconds delta.
     pub cpu_s: f64,
+}
+
+/// Self-time movement of one span name between two `v3` rollups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Span name, e.g. `gscale` or `dscale.iter`.
+    pub name: String,
+    /// Span-count delta, new − old.
+    pub count: i64,
+    /// Self-time delta in nanoseconds, new − old. Zero whenever either
+    /// document was rendered with `--deterministic` (timing stripped).
+    pub self_ns: i64,
 }
 
 /// All deltas of one scenario present in both documents, new − old.
@@ -40,6 +62,10 @@ pub struct ScenarioDelta {
     pub gscale: AlgoDelta,
     /// Whole-scenario CPU-seconds delta.
     pub cpu_s: f64,
+    /// Per-phase self-time deltas from the `obs` span rollups, sorted by
+    /// span name. Empty unless **both** documents carry an `obs` object
+    /// for this scenario (i.e. both are `v3`).
+    pub phases: Vec<PhaseDelta>,
 }
 
 /// The joined result of [`compare`].
@@ -67,6 +93,81 @@ impl Comparison {
             .iter()
             .flat_map(|d| [d.cvs.power_uw, d.dscale.power_uw, d.gscale.power_uw])
             .fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Largest absolute improvement-percentage delta (percentage points)
+    /// across all shared scenarios and algorithms. `0.0` when nothing is
+    /// shared.
+    pub fn max_abs_improvement_delta_pp(&self) -> f64 {
+        self.deltas
+            .iter()
+            .flat_map(|d| {
+                [
+                    d.cvs.improvement_pct,
+                    d.dscale.improvement_pct,
+                    d.gscale.improvement_pct,
+                ]
+            })
+            .fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Per-phase self-time deltas summed over every shared scenario,
+    /// sorted by span name — the cross-run "where did the time move?"
+    /// readout. Empty when no scenario pair carried `obs` rollups.
+    pub fn phase_totals(&self) -> Vec<PhaseDelta> {
+        let mut totals: BTreeMap<&str, (i64, i64)> = BTreeMap::new();
+        for d in &self.deltas {
+            for p in &d.phases {
+                let t = totals.entry(p.name.as_str()).or_insert((0, 0));
+                t.0 += p.count;
+                t.1 += p.self_ns;
+            }
+        }
+        totals
+            .into_iter()
+            .map(|(name, (count, self_ns))| PhaseDelta {
+                name: name.to_owned(),
+                count,
+                self_ns,
+            })
+            .collect()
+    }
+
+    /// The measurement-regression gate behind `dvs-sweep --gate`: errs
+    /// when any shared scenario moved an algorithm's power by more than
+    /// `power_tol_uw` µW or its improvement by more than
+    /// `improvement_tol_pp` percentage points, or when the scenario sets
+    /// differ at all (a silently dropped scenario must not pass CI).
+    /// Timing fields are never gated — only the deterministic
+    /// measurements.
+    pub fn gate(&self, power_tol_uw: f64, improvement_tol_pp: f64) -> Result<(), String> {
+        let mut problems = Vec::new();
+        if !self.only_old.is_empty() {
+            problems.push(format!(
+                "scenarios disappeared: {}",
+                self.only_old.join(", ")
+            ));
+        }
+        if !self.only_new.is_empty() {
+            problems.push(format!("scenarios appeared: {}", self.only_new.join(", ")));
+        }
+        let dp = self.max_abs_power_delta_uw();
+        if dp > power_tol_uw {
+            problems.push(format!(
+                "max |dPower| {dp:.6} uW exceeds tolerance {power_tol_uw:.6} uW"
+            ));
+        }
+        let di = self.max_abs_improvement_delta_pp();
+        if di > improvement_tol_pp {
+            problems.push(format!(
+                "max |dImprovement| {di:.6} pp exceeds tolerance {improvement_tol_pp:.6} pp"
+            ));
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
     }
 
     /// Renders the diff as an aligned text table (one line per shared
@@ -103,6 +204,22 @@ impl Comparison {
         for id in &self.only_new {
             let _ = writeln!(out, "  only in new: {id}");
         }
+        let phases = self.phase_totals();
+        if !phases.is_empty() {
+            let _ = writeln!(
+                out,
+                "  phase self-time movement (summed over shared scenarios):"
+            );
+            for p in &phases {
+                let _ = writeln!(
+                    out,
+                    "    {:<24} d(count) {:>+8} d(self) {:>+12.3} ms",
+                    p.name,
+                    p.count,
+                    p.self_ns as f64 / 1e6,
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "  max |dPower| across shared scenarios: {:.6} uW",
@@ -137,6 +254,40 @@ fn algo_delta(old: &Json, new: &Json, name: &str, id: &str) -> Result<AlgoDelta,
         improvement_pct: n.1 - o.1,
         cpu_s: n.2 - o.2,
     })
+}
+
+/// Span-name → `(count, self_ns)` from a scenario's `obs.spans` rollup.
+/// `None` when the scenario has no structurally sound `obs` object
+/// (pre-`v3` documents).
+fn phases_of(sc: &Json) -> Option<BTreeMap<String, (i64, i64)>> {
+    let spans = sc.get("obs")?.get("spans")?.as_array()?;
+    let mut map = BTreeMap::new();
+    for s in spans {
+        let name = s.get("name").and_then(Json::as_str)?.to_owned();
+        let count = s.get("count").and_then(Json::as_f64)? as i64;
+        let self_ns = s.get("self_ns").and_then(Json::as_f64)? as i64;
+        map.insert(name, (count, self_ns));
+    }
+    Some(map)
+}
+
+fn phase_deltas(old: &Json, new: &Json) -> Vec<PhaseDelta> {
+    let (Some(o), Some(n)) = (phases_of(old), phases_of(new)) else {
+        return Vec::new();
+    };
+    let names: std::collections::BTreeSet<&String> = o.keys().chain(n.keys()).collect();
+    names
+        .into_iter()
+        .map(|name| {
+            let (oc, os) = o.get(name).copied().unwrap_or((0, 0));
+            let (nc, ns) = n.get(name).copied().unwrap_or((0, 0));
+            PhaseDelta {
+                name: name.clone(),
+                count: nc - oc,
+                self_ns: ns - os,
+            }
+        })
+        .collect()
 }
 
 fn schema_of(doc: &Json, which: &str) -> Result<String, String> {
@@ -195,6 +346,7 @@ pub fn compare(old: &Json, new: &Json) -> Result<Comparison, String> {
             dscale: algo_delta(old_sc, new_sc, "dscale", id)?,
             gscale: algo_delta(old_sc, new_sc, "gscale", id)?,
             cpu_s: num(new_sc, "cpu_s", &ctx)? - num(old_sc, "cpu_s", &ctx)?,
+            phases: phase_deltas(old_sc, new_sc),
         });
     }
     Ok(Comparison {
@@ -270,6 +422,113 @@ mod tests {
         assert!(text.contains("a/s0"), "{text}");
         assert!(text.contains("only in old: gone/s0"), "{text}");
         assert!(text.contains("only in new: fresh/s0"), "{text}");
+    }
+
+    fn obs(spans: Vec<(&str, u64, u64)>) -> Json {
+        Json::obj(vec![(
+            "spans",
+            Json::Arr(
+                spans
+                    .into_iter()
+                    .map(|(n, c, s)| {
+                        Json::obj(vec![
+                            ("name", Json::Str(n.into())),
+                            ("count", Json::UInt(c)),
+                            ("wall_ns", Json::UInt(s)),
+                            ("self_ns", Json::UInt(s)),
+                            ("cpu_ns", Json::UInt(s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    fn with_obs(mut sc: Json, o: Json) -> Json {
+        if let Json::Obj(members) = &mut sc {
+            members.push(("obs".to_owned(), o));
+        }
+        sc
+    }
+
+    #[test]
+    fn v3_documents_diff_phase_self_times() {
+        let old = doc(
+            "dvs-sweep/v3",
+            vec![with_obs(
+                scenario("a/s0", 100.0),
+                obs(vec![("cvs", 1, 1_000_000), ("gscale", 2, 5_000_000)]),
+            )],
+        );
+        let new = doc(
+            "dvs-sweep/v3",
+            vec![with_obs(
+                scenario("a/s0", 100.0),
+                obs(vec![("cvs", 1, 3_000_000), ("dscale", 1, 700_000)]),
+            )],
+        );
+        let cmp = compare(&old, &new).expect("well-formed v3");
+        let phases = &cmp.deltas[0].phases;
+        let by_name: Vec<(&str, i64, i64)> = phases
+            .iter()
+            .map(|p| (p.name.as_str(), p.count, p.self_ns))
+            .collect();
+        assert_eq!(
+            by_name,
+            [
+                ("cvs", 0, 2_000_000),
+                ("dscale", 1, 700_000),
+                ("gscale", -2, -5_000_000),
+            ]
+        );
+        assert_eq!(cmp.phase_totals(), *phases);
+        let text = cmp.render();
+        assert!(text.contains("phase self-time movement"), "{text}");
+        assert!(text.contains("gscale"), "{text}");
+    }
+
+    #[test]
+    fn pre_v3_documents_yield_empty_phase_deltas() {
+        let old = doc("dvs-sweep/v2", vec![scenario("a/s0", 100.0)]);
+        let new = doc(
+            "dvs-sweep/v3",
+            vec![with_obs(scenario("a/s0", 100.0), obs(vec![("cvs", 1, 5)]))],
+        );
+        let cmp = compare(&old, &new).expect("v2 stays readable");
+        assert!(cmp.deltas[0].phases.is_empty());
+        assert!(cmp.phase_totals().is_empty());
+        assert!(!cmp.render().contains("phase self-time movement"));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let old = doc("dvs-sweep/v3", vec![scenario("a/s0", 100.0)]);
+        let new = doc("dvs-sweep/v3", vec![scenario("a/s0", 100.5)]);
+        let cmp = compare(&old, &new).unwrap();
+        assert!(cmp.gate(1.0, 1.0).is_ok());
+        let err = cmp.gate(0.1, 1.0).unwrap_err();
+        assert!(err.contains("dPower"), "{err}");
+
+        // improvement gating is independent of power gating
+        let drifted = doc(
+            "dvs-sweep/v3",
+            vec![Json::obj(vec![
+                ("id", Json::Str("a/s0".into())),
+                ("cvs", algo(100.0, 15.0, 0.5)),
+                ("dscale", algo(99.0, 11.0, 0.6)),
+                ("gscale", algo(98.0, 12.0, 0.7)),
+                ("cpu_s", Json::Num(2.0)),
+            ])],
+        );
+        let cmp = compare(&old, &drifted).unwrap();
+        let err = cmp.gate(1e9, 1.0).unwrap_err();
+        assert!(err.contains("dImprovement"), "{err}");
+
+        // a lost scenario can never pass, whatever the tolerances
+        let empty = doc("dvs-sweep/v3", vec![]);
+        let cmp = compare(&old, &empty).unwrap();
+        let err = cmp.gate(1e9, 1e9).unwrap_err();
+        assert!(err.contains("disappeared"), "{err}");
     }
 
     #[test]

@@ -23,11 +23,11 @@
 //! fields, making the whole document byte-identical across worker counts
 //! (that is what the CI smoke test asserts).
 //!
-//! ## `BENCH_sweep.json` schema (`dvs-sweep/v2`)
+//! ## `BENCH_sweep.json` schema (`dvs-sweep/v3`)
 //!
 //! ```json
 //! {
-//!   "schema": "dvs-sweep/v2",
+//!   "schema": "dvs-sweep/v3",
 //!   "timing": true,              // false when --deterministic zeroed the clocks
 //!   "scenario_count": 39,
 //!   "summary": {                 // means over all scenarios
@@ -59,7 +59,21 @@
 //!       "dscale": { …, "converters": N, … },   // same shape as "cvs"
 //!       "gscale": { …, "resized": N, … },      // same shape as "cvs"
 //!       "wall_s": 1.03,              // whole-scenario wall clock
-//!       "cpu_s": 0.98                // whole-scenario per-thread CPU clock
+//!       "cpu_s": 0.98,               // whole-scenario per-thread CPU clock
+//!       "obs": {                     // dvs-obs rollup of this scenario's thread
+//!         "spans": [                 // per-span-name totals, sorted by name
+//!           { "name": "gscale", "count": 1, "wall_ns": …,
+//!             "self_ns": …,          // wall minus direct children
+//!             "cpu_ns": … }
+//!         ],
+//!         "counters": { "session.rail_edits": 31, "session.sta_events": 4701, … },
+//!         "gauges": { "session.nodes": 27900 },
+//!         "hists": [                 // log2-bucket histograms (see dvs-obs docs)
+//!           { "name": "sta.events_per_change", "count": …, "sum": …,
+//!             "min": …, "max": …,
+//!             "buckets": [[3, 17], [4, 260], …] }  // [bucket index, count]
+//!         ]
+//!       }
 //!     }
 //!   ]
 //! }
@@ -71,6 +85,17 @@
 //! events, rebuilds avoided, checkpoints/rollbacks). `hot_rebuilds` is
 //! zero by construction on the optimization hot paths, and CI asserts it.
 //!
+//! `v3` added the per-scenario `"obs"` rollup: everything the scenario's
+//! worker thread recorded through the [`dvs_obs`] registry while the
+//! scenario ran — span wall/self/CPU-time totals by name, counter deltas,
+//! final gauge values, and log₂-bucket histogram windows. The rollup is
+//! **value-deterministic**: the window only sees the one thread that ran
+//! the scenario, so counts, bucket contents and gauge values are
+//! independent of `--jobs`; only the `*_ns` fields vary run to run, and
+//! `--deterministic` zeroes them (`"timing": false`) exactly like the
+//! `cpu_s`/`wall_s` columns. Documents of schema `v1`/`v2` stay readable
+//! by [`compare`]; they just produce empty phase deltas.
+//!
 //! All `cpu_s` fields are **per-thread** CPU seconds
 //! ([`dvs_core::CpuTimer`]), so a loaded pool reports the same CPU cost as
 //! a sequential baseline instead of billing descheduled time.
@@ -79,9 +104,14 @@
 //!
 //! [`compare`] joins two sweep documents by scenario id and reports
 //! per-scenario power / improvement / CPU deltas (new − old) plus ids
-//! present on only one side; the CLI's `--compare OLD.json` prints the
-//! rendered table after a sweep and exits nonzero when `OLD.json` has a
-//! schema tag outside [`READABLE_SCHEMAS`].
+//! present on only one side; when both sides are `v3` it also diffs the
+//! per-phase self-times from the `obs` rollups. The CLI's
+//! `--compare OLD.json` prints the rendered table after a sweep and exits
+//! nonzero when `OLD.json` has a schema tag outside [`READABLE_SCHEMAS`];
+//! `--gate` additionally fails the run when power or improvement moved
+//! beyond tolerance ([`Comparison::gate`]) — the committed
+//! `BENCH_reference.json` plus this gate is the CI measurement-regression
+//! tripwire.
 //!
 //! ## Example
 //!
@@ -107,11 +137,14 @@ pub mod json;
 mod compare;
 mod grid;
 mod pool;
+mod progress;
 mod runner;
 
-pub use compare::{compare, AlgoDelta, Comparison, ScenarioDelta, READABLE_SCHEMAS};
+pub use compare::{compare, AlgoDelta, Comparison, PhaseDelta, ScenarioDelta, READABLE_SCHEMAS};
 pub use grid::{ConfigVariant, Grid, Scenario};
 pub use pool::{default_jobs, run_indexed};
+pub use progress::Progress;
 pub use runner::{
-    mean, run_grid, run_scenario, to_json, write_results, AlgoSummary, ScenarioResult, SCHEMA,
+    mean, run_grid, run_grid_obs, run_scenario, run_scenario_obs, to_json, write_results,
+    AlgoSummary, ScenarioResult, SCHEMA,
 };

@@ -48,14 +48,19 @@ where
     let next = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        for w in 0..jobs {
+            let (next, done, f) = (&next, &done, &f);
+            scope.spawn(move || {
+                // name the worker's track in any installed trace subscriber
+                dvs_obs::set_thread_label(|| format!("worker-{w}"));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(i, &items[i]);
+                    done.lock().unwrap().push((i, out));
                 }
-                let out = f(i, &items[i]);
-                done.lock().unwrap().push((i, out));
             });
         }
     });

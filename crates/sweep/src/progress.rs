@@ -1,0 +1,141 @@
+//! Live sweep progress on stderr: scenarios done, ETA and worker
+//! utilization, rewritten in place with `\r`.
+//!
+//! The meter is *accounting first, rendering second*: counters always
+//! update so [`Progress::line`] is testable, but nothing is written unless
+//! stderr is a terminal and the caller did not ask for quiet (the
+//! `--deterministic` CI path must stay byte-silent). Rendering goes to
+//! stderr only — stdout stays clean for redirected JSON.
+
+use std::io::IsTerminal as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A thread-safe progress meter for one sweep run. Workers call
+/// [`Progress::scenario_done`] as scenarios finish (any thread, any
+/// order); the meter keeps a running ETA from the mean scenario rate and
+/// a busy fraction from the sum of per-scenario wall clocks over the
+/// pool's elapsed capacity.
+pub struct Progress {
+    total: usize,
+    jobs: usize,
+    enabled: bool,
+    start: Instant,
+    done: AtomicUsize,
+    busy_ns: AtomicU64,
+}
+
+impl Progress {
+    /// Meter for `total` scenarios on `jobs` workers. Rendering is
+    /// enabled only when `quiet` is false **and** stderr is a terminal;
+    /// accounting runs either way.
+    #[must_use]
+    pub fn new(total: usize, jobs: usize, quiet: bool) -> Self {
+        Progress {
+            total,
+            jobs: jobs.max(1),
+            enabled: !quiet && std::io::stderr().is_terminal(),
+            start: Instant::now(),
+            done: AtomicUsize::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// `true` when the meter writes to stderr.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one finished scenario that occupied a worker for `wall_s`
+    /// seconds and, when enabled, rewrites the status line.
+    pub fn scenario_done(&self, wall_s: f64) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        let ns = (wall_s.max(0.0) * 1e9) as u64;
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        if self.enabled {
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r\x1b[2K{}", self.line());
+            let _ = err.flush();
+        }
+    }
+
+    /// Ends the in-place line: prints the final state with a newline when
+    /// rendering is enabled, otherwise does nothing.
+    pub fn finish(&self) {
+        if self.enabled {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "\r\x1b[2K{}", self.line());
+        }
+    }
+
+    /// The current status line, e.g.
+    /// `sweep 12/78 | ETA 34s | workers 87% busy`.
+    #[must_use]
+    pub fn line(&self) -> String {
+        let done = self.done.load(Ordering::Relaxed).min(self.total);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = if done == 0 || done >= self.total {
+            "0s".to_string()
+        } else {
+            let per = elapsed / done as f64;
+            // the pool drains the queue jobs-at-a-time, so the mean rate
+            // already includes the parallelism; no further scaling
+            format!("{:.0}s", per * (self.total - done) as f64)
+        };
+        let eta = if done == 0 { "--".to_string() } else { eta };
+        let busy_s = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let capacity = elapsed * self.jobs as f64;
+        let busy_pct = if capacity > 0.0 {
+            (100.0 * busy_s / capacity).min(100.0)
+        } else {
+            0.0
+        };
+        format!(
+            "sweep {done}/{} | ETA {eta} | workers {busy_pct:.0}% busy",
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_runs_even_when_quiet() {
+        let p = Progress::new(10, 2, true);
+        assert!(!p.enabled());
+        assert!(
+            p.line().starts_with("sweep 0/10 | ETA -- |"),
+            "{}",
+            p.line()
+        );
+        p.scenario_done(0.25);
+        p.scenario_done(0.25);
+        p.scenario_done(0.25);
+        let line = p.line();
+        assert!(line.starts_with("sweep 3/10 | ETA "), "{line}");
+        assert!(line.contains("% busy"), "{line}");
+        p.finish(); // silent: must not print when disabled
+    }
+
+    #[test]
+    fn completion_reports_zero_eta_and_caps_busy() {
+        let p = Progress::new(2, 1, true);
+        p.scenario_done(1e6); // absurd busy time must cap at 100%
+        p.scenario_done(1e6);
+        let line = p.line();
+        assert!(line.starts_with("sweep 2/2 | ETA 0s |"), "{line}");
+        assert!(line.contains("workers 100% busy"), "{line}");
+    }
+
+    #[test]
+    fn overcounted_done_saturates_at_total() {
+        let p = Progress::new(1, 1, true);
+        p.scenario_done(0.0);
+        p.scenario_done(0.0);
+        assert!(p.line().starts_with("sweep 1/1"), "{}", p.line());
+    }
+}

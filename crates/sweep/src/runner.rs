@@ -4,6 +4,7 @@ use std::time::Instant;
 
 use dvs_celllib::compass;
 use dvs_core::{run_circuit, AlgoReport, CircuitRun, CpuTimer, FlowCounters};
+use dvs_obs::{HistRollup, Recorder, Rollup};
 use dvs_synth::{mcnc, prepare};
 
 use crate::grid::{Grid, Scenario};
@@ -11,8 +12,10 @@ use crate::json::Json;
 use crate::pool;
 
 /// The schema tag written into (and expected from) sweep JSON documents.
-/// `v2` added the per-algorithm `sta` counter objects.
-pub const SCHEMA: &str = "dvs-sweep/v2";
+/// `v2` added the per-algorithm `sta` counter objects; `v3` added the
+/// per-scenario `obs` rollup (span self-times, counters, gauges and
+/// log₂-bucket histograms from the `dvs-obs` registry).
+pub const SCHEMA: &str = "dvs-sweep/v3";
 
 /// Flat per-algorithm numbers of one scenario (one `Table 1` + `Table 2`
 /// cell group).
@@ -84,18 +87,41 @@ pub struct ScenarioResult {
     pub wall_s: f64,
     /// Per-thread CPU seconds for the whole scenario.
     pub cpu_s: f64,
+    /// Observability rollup of everything this scenario's thread recorded
+    /// while it ran (span self-times, counters, gauges, histograms).
+    /// Empty when no [`Recorder`] was handed to the run.
+    pub obs: Rollup,
 }
 
 /// Runs one scenario: build the variant's library, generate the scaled
 /// stand-in, prepare it with the variant's relaxation, then measure the
 /// three algorithms. All clocks start and stop on the calling thread.
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
+    run_scenario_obs(sc, None)
+}
+
+/// [`run_scenario`] with an observability window: when `obs` is a
+/// [`Recorder`] currently installed as the subscriber, the whole scenario
+/// runs inside a `"scenario"` span and the result carries the rollup of
+/// everything this thread recorded in between (value-deterministic — the
+/// window sees only the executing thread's stream, so the rollup is
+/// independent of the worker count).
+pub fn run_scenario_obs(sc: &Scenario, obs: Option<&Recorder>) -> ScenarioResult {
     let wall = Instant::now();
     let cpu = CpuTimer::start();
-    let lib = compass::compass_library(sc.variant.voltages);
-    let net = mcnc::generate_scaled(sc.profile, &lib, sc.scale, sc.seed);
-    let prepared = prepare(net, &lib, sc.variant.relax);
-    let run: CircuitRun = run_circuit(sc.profile.name, &prepared, &lib, &sc.variant.config);
+    let mark = obs.map(Recorder::mark);
+    let run: CircuitRun = {
+        let _span = dvs_obs::span_with("scenario", || sc.id());
+        let lib = compass::compass_library(sc.variant.voltages);
+        let net = mcnc::generate_scaled(sc.profile, &lib, sc.scale, sc.seed);
+        let prepared = prepare(net, &lib, sc.variant.relax);
+        run_circuit(sc.profile.name, &prepared, &lib, &sc.variant.config)
+    };
+    // the scenario span is closed here, so the rollup includes it
+    let rollup = match (obs, mark) {
+        (Some(rec), Some(mark)) => rec.rollup_since(&mark),
+        _ => Rollup::default(),
+    };
     ScenarioResult {
         id: sc.id(),
         circuit: sc.profile.name.to_owned(),
@@ -110,6 +136,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
         gscale: AlgoSummary::from(&run.gscale),
         wall_s: wall.elapsed().as_secs_f64(),
         cpu_s: cpu.elapsed().as_secs_f64(),
+        obs: rollup,
     }
 }
 
@@ -131,9 +158,24 @@ pub fn run_grid<F>(grid: &Grid, jobs: usize, progress: F) -> Vec<ScenarioResult>
 where
     F: Fn(&ScenarioResult) + Sync,
 {
+    run_grid_obs(grid, jobs, None, progress)
+}
+
+/// [`run_grid`] with per-scenario observability: when `obs` is the
+/// installed [`Recorder`], every result carries its thread-scoped
+/// [`Rollup`] (see [`run_scenario_obs`]).
+pub fn run_grid_obs<F>(
+    grid: &Grid,
+    jobs: usize,
+    obs: Option<&Recorder>,
+    progress: F,
+) -> Vec<ScenarioResult>
+where
+    F: Fn(&ScenarioResult) + Sync,
+{
     let scenarios = grid.expand();
     pool::run_indexed(&scenarios, jobs, |_, sc| {
-        let res = run_scenario(sc);
+        let res = run_scenario_obs(sc, obs);
         progress(&res);
         res
     })
@@ -154,6 +196,76 @@ fn counters_json(c: &FlowCounters) -> Json {
     ])
 }
 
+fn hist_json(h: &HistRollup) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(h.name.clone())),
+        ("count", Json::UInt(h.count)),
+        ("sum", Json::UInt(h.sum)),
+        ("min", Json::UInt(h.min)),
+        ("max", Json::UInt(h.max)),
+        (
+            "buckets",
+            Json::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(ix, n)| Json::Arr(vec![Json::UInt(ix as u64), Json::UInt(n)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn rollup_json(rollup: &Rollup, timing: bool) -> Json {
+    let mut rollup = rollup.clone();
+    if !timing {
+        rollup.zero_timing();
+    }
+    Json::obj(vec![
+        (
+            "spans",
+            Json::Arr(
+                rollup
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::Str(s.name.clone())),
+                            ("count", Json::UInt(s.count)),
+                            ("wall_ns", Json::UInt(s.wall_ns)),
+                            ("self_ns", Json::UInt(s.self_ns)),
+                            ("cpu_ns", Json::UInt(s.cpu_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "counters",
+            Json::Obj(
+                rollup
+                    .counters
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                rollup
+                    .gauges
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "hists",
+            Json::Arr(rollup.hists.iter().map(hist_json).collect()),
+        ),
+    ])
+}
+
 fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
     Json::obj(vec![
         ("power_uw", Json::Num(a.power_uw)),
@@ -169,7 +281,7 @@ fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
 }
 
 /// Serializes sweep results as the `BENCH_sweep.json` document (schema
-/// `dvs-sweep/v2`; see the crate docs for the full field reference).
+/// `dvs-sweep/v3`; see the crate docs for the full field reference).
 ///
 /// With `timing == false` every wall/CPU field renders as `0`, making the
 /// document a pure function of the grid — byte-identical across runs and
@@ -224,6 +336,7 @@ pub fn to_json(results: &[ScenarioResult], timing: bool) -> Json {
                             ("gscale", algo_json(&r.gscale, timing)),
                             ("wall_s", Json::Num(if timing { r.wall_s } else { 0.0 })),
                             ("cpu_s", Json::Num(if timing { r.cpu_s } else { 0.0 })),
+                            ("obs", rollup_json(&r.obs, timing)),
                         ])
                     })
                     .collect(),
@@ -338,12 +451,74 @@ mod tests {
             doc, again,
             "timing-stripped document must not depend on jobs"
         );
-        assert!(doc.contains("\"schema\": \"dvs-sweep/v2\""));
+        assert!(doc.contains("\"schema\": \"dvs-sweep/v3\""));
         assert!(doc.contains("\"id\": \"x2.x1/paper/s0\""));
         assert!(doc.contains("\"hot_rebuilds\": 0"));
         assert!(doc.contains("\"sta\": {"));
+        assert!(doc.contains("\"obs\": {"));
         // timing-on documents still validate
         let timed = to_json(&results, true).render();
         crate::json::validate(&timed).expect("valid timed JSON");
+    }
+
+    #[test]
+    fn obs_rollups_are_worker_count_independent() {
+        use std::sync::Arc;
+        let rec = Arc::new(Recorder::new());
+        dvs_obs::set_subscriber(Some(rec.clone()));
+        let grid = Grid {
+            profiles: vec![dvs_synth::mcnc::find("x2").unwrap()],
+            scales: vec![1, 2],
+            variants: vec![ConfigVariant {
+                config: dvs_core::FlowConfig {
+                    sim_vectors: 128,
+                    ..dvs_core::FlowConfig::default()
+                },
+                ..ConfigVariant::paper()
+            }],
+            seeds: vec![0],
+        };
+        let seq = run_grid_obs(&grid, 1, Some(&rec), |_| {});
+        let par = run_grid_obs(&grid, 4, Some(&rec), |_| {});
+        dvs_obs::set_subscriber(None);
+        let _ = rec.drain();
+
+        for (a, b) in seq.iter().zip(&par) {
+            assert!(!a.obs.is_empty(), "{}: empty rollup", a.id);
+            // the three phases and the scenario span all show up
+            let names: Vec<&str> = a.obs.spans.iter().map(|s| s.name.as_str()).collect();
+            for expect in ["cvs", "dscale", "gscale", "circuit", "scenario"] {
+                assert!(names.contains(&expect), "{}: no `{expect}` span", a.id);
+            }
+            // per-edit counters flowed through the registry
+            assert!(
+                a.obs
+                    .counters
+                    .iter()
+                    .any(|(n, v)| n == "session.sta_events" && *v > 0),
+                "{}: no sta_events counter",
+                a.id
+            );
+            assert!(
+                a.obs
+                    .hists
+                    .iter()
+                    .any(|h| h.name == "sta.events_per_change"),
+                "{}: no events-per-change histogram",
+                a.id
+            );
+            // value-determinism: identical modulo the clock fields
+            let strip = |r: &ScenarioResult| {
+                let mut o = r.obs.clone();
+                o.zero_timing();
+                o
+            };
+            assert_eq!(strip(a), strip(b), "{}", a.id);
+        }
+        // rendered obs objects are byte-identical across worker counts
+        // once timing is stripped
+        let doc_seq = to_json(&seq, false).render();
+        let doc_par = to_json(&par, false).render();
+        assert_eq!(doc_seq, doc_par);
     }
 }
