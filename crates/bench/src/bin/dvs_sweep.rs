@@ -11,12 +11,13 @@
 //! dvs-sweep --profiles des,C7552 --scale 1,10 --variants paper,tight-clock --seeds 0,1
 //! ```
 
+use std::fs::File;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use dvs_core::FlowConfig;
-use dvs_obs::{Recorder, StderrTracer, Tee};
+use dvs_obs::{Recorder, Sampler, StderrTracer, Subscriber, Tee};
 use dvs_sweep::{
     compare, default_jobs, json, mean, run_grid_obs, to_json, write_results, ConfigVariant, Grid,
     Progress, ScenarioResult,
@@ -55,9 +56,20 @@ OPTIONS:
                       improvement more than TOL percentage points, or when
                       the scenario sets differ. TOL may also be `UW,PP` to
                       set the two tolerances separately
-    --trace-out PATH  write a Chrome trace-event JSON of the whole sweep
+    --trace-out PATH  stream a Chrome trace-event JSON of the whole sweep
                       (load in Perfetto / chrome://tracing; one track per
-                      worker thread)
+                      worker thread). Events are written incrementally in
+                      per-thread chunks, so memory stays bounded no matter
+                      how long the sweep runs
+    --folded-out PATH write folded-stack lines (`thread;span;... self_ns`,
+                      flamegraph.pl / inferno input) after the sweep
+    --profile MODE    always-on sampling profiler: `off`, `auto` (keep one
+                      span in 16, deterministic hash selection) or an
+                      explicit period N >= 1; prints a sample digest to
+                      stderr after the sweep            [default: off]
+    --attr-summary    print the top attribution sites per domain (power
+                      saved per gate, STA events per gate, flow work per
+                      separator) to stderr after the sweep
     --obs-summary     print the top spans by self-time and the histogram
                       digest to stderr after the sweep
     -h, --help        print this help
@@ -76,8 +88,16 @@ struct Args {
     compare: Option<PathBuf>,
     gate: Option<(f64, f64)>,
     trace_out: Option<PathBuf>,
+    folded_out: Option<PathBuf>,
+    /// Sampling period for the always-on profiler; `None` = off.
+    profile: Option<u64>,
+    attr_summary: bool,
     obs_summary: bool,
 }
+
+/// Events per thread buffered by the streaming trace writer before a
+/// flush. Peak memory is `workers x TRACE_CHUNK` rendered lines.
+const TRACE_CHUNK: usize = 256;
 
 fn parse_profiles(spec: &str) -> Result<Vec<&'static Profile>, String> {
     match spec {
@@ -113,6 +133,9 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut compare: Option<PathBuf> = None;
     let mut gate: Option<(f64, f64)> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut folded_out: Option<PathBuf> = None;
+    let mut profile: Option<u64> = None;
+    let mut attr_summary = false;
     let mut obs_summary = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -188,6 +211,18 @@ fn parse_args() -> Result<Option<Args>, String> {
                 });
             }
             "--trace-out" => trace_out = Some(PathBuf::from(value(&mut i, "--trace-out")?)),
+            "--folded-out" => folded_out = Some(PathBuf::from(value(&mut i, "--folded-out")?)),
+            "--profile" => {
+                let spec = value(&mut i, "--profile")?;
+                profile = match spec.as_str() {
+                    "off" => None,
+                    "auto" => Some(dvs_obs::sampler::AUTO_PERIOD),
+                    n => Some(n.parse::<u64>().ok().filter(|&p| p >= 1).ok_or_else(|| {
+                        format!("`--profile` takes off, auto or a period >= 1, not `{n}`")
+                    })?),
+                };
+            }
+            "--attr-summary" => attr_summary = true,
             "--obs-summary" => obs_summary = true,
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -220,6 +255,9 @@ fn parse_args() -> Result<Option<Args>, String> {
         compare,
         gate,
         trace_out,
+        folded_out,
+        profile,
+        attr_summary,
         obs_summary,
     }))
 }
@@ -271,14 +309,34 @@ fn main() -> ExitCode {
     );
 
     // One recorder observes the whole sweep: it feeds the per-scenario
-    // `obs` rollups in the JSON, the Chrome trace and the summary. With
-    // DVS_TRACE set, the classic stderr lines are teed alongside it.
+    // `obs`/`attr` rollups in the JSON, the folded output and the
+    // summaries. The optional streaming trace writer, sampler and (with
+    // DVS_TRACE set) the classic stderr tracer are teed alongside it.
     let rec = Arc::new(Recorder::new());
-    if std::env::var_os("DVS_TRACE").is_some() {
-        dvs_obs::set_subscriber(Some(Arc::new(Tee(rec.clone(), StderrTracer))));
-    } else {
-        dvs_obs::set_subscriber(Some(rec.clone()));
+    let writer = match &args.trace_out {
+        Some(path) => match File::create(path) {
+            Ok(f) => Some(Arc::new(dvs_obs::stream::Writer::new(f, TRACE_CHUNK))),
+            Err(e) => {
+                eprintln!("dvs-sweep: creating {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let sampler = args
+        .profile
+        .map(|period| Arc::new(Sampler::new(period, dvs_obs::sampler::DEFAULT_CAPACITY)));
+    let mut sub: Arc<dyn Subscriber> = rec.clone();
+    if let Some(w) = &writer {
+        sub = Arc::new(Tee(sub, w.clone()));
     }
+    if let Some(s) = &sampler {
+        sub = Arc::new(Tee(sub, s.clone()));
+    }
+    if std::env::var_os("DVS_TRACE").is_some() {
+        sub = Arc::new(Tee(sub, StderrTracer));
+    }
+    dvs_obs::set_subscriber(Some(sub));
 
     let progress = Progress::new(total, args.jobs, args.deterministic);
     let results = run_grid_obs(&args.grid, args.jobs, Some(&rec), |r| {
@@ -295,21 +353,37 @@ fn main() -> ExitCode {
 
     dvs_obs::set_subscriber(None);
     let trace = rec.drain();
-    if let Some(path) = &args.trace_out {
-        let doc = dvs_obs::chrome::render(&trace);
-        if let Err(e) = std::fs::write(path, doc) {
+    if let Some(w) = &writer {
+        let path = args.trace_out.as_ref().expect("writer implies --trace-out");
+        match w.finish() {
+            Ok(stats) => eprintln!(
+                "dvs-sweep: streamed {} event(s) in {} chunk(s) to {} ({} bytes, peak {} buffered)",
+                stats.events,
+                stats.chunks,
+                path.display(),
+                stats.bytes,
+                stats.max_buffered,
+            ),
+            Err(e) => {
+                eprintln!("dvs-sweep: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.folded_out {
+        if let Err(e) = std::fs::write(path, dvs_obs::stream::folded(&trace)) {
             eprintln!("dvs-sweep: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!(
-            "dvs-sweep: wrote {} span(s) on {} thread(s) to {}",
-            trace.spans.len(),
-            trace.thread_labels.len().max(1),
-            path.display(),
-        );
     }
     if args.obs_summary {
         eprint!("{}", dvs_obs::summary::render(&trace, 12));
+    }
+    if args.attr_summary {
+        eprint!("{}", dvs_obs::attr::render_summary(&trace, 8));
+    }
+    if let Some(s) = &sampler {
+        eprint!("{}", s.summary(8));
     }
 
     if let Err(e) = write_results(&args.out, &results, !args.deterministic) {

@@ -71,9 +71,11 @@ pub(crate) fn cvs_counted(
             let events = timing.apply_gate_change(net, lib, g) as u64;
             counters.sta_events += events;
             // mirror into the metrics registry: this path bypasses the
-            // session's set_rail, so it must emit its own counters
+            // session's set_rail, so it must emit its own counters and
+            // attribution (sta.events rides the apply fn itself)
             dvs_obs::counter_add("session.rail_edits", 1);
             dvs_obs::counter_add("session.sta_events", events);
+            dvs_obs::attr_add("session.edits", || net.node(g).name().to_string(), 1);
             lowered.push(g);
         }
     }

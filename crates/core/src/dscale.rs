@@ -162,7 +162,14 @@ pub fn dscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> DscaleOut
         // absorbs each splice incrementally (`update_timing` without the
         // full rebuild the pre-session flow paid here every round).
         for &ix in &picked {
-            let (g, ref plan, _) = cand[ix];
+            let (g, ref plan, gain_uw) = cand[ix];
+            // attribution currency: nanowatts, rounded — integer-exact and
+            // therefore byte-identical across worker counts
+            dvs_obs::attr_add(
+                "dscale.power_saved_nw",
+                || sess.network().node(g).name().to_string(),
+                (gain_uw * 1e3).round() as u64,
+            );
             sess.set_rail(g, Rail::Low);
             if !plan.high_sinks.is_empty() {
                 sess.insert_converter(g, &plan.high_sinks, false)

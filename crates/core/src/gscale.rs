@@ -104,7 +104,17 @@ pub fn gscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> GscaleOut
         let _iter_span = dvs_obs::span("gscale.iter");
         let cpn = critical_path_network(sess.network(), sess.timing(), &tcb, cfg.guard_ns);
         let cut = match separator_of(sess.network(), lib, sess.timing(), &cpn, &tcb, &banned) {
-            Some(c) if !c.is_empty() => c,
+            Some((c, paths)) if !c.is_empty() => {
+                // charge the max-flow work to the separator it bought,
+                // named by its first (lowest-topological) gate and size —
+                // stable for a given netlist, so deterministic across runs
+                dvs_obs::attr_add(
+                    "flow.augmenting_paths",
+                    || format!("{}+{}", sess.network().node(c[0]).name(), c.len() - 1),
+                    paths,
+                );
+                c
+            }
             _ => {
                 sess.emit(TraceEvent::GscaleStop {
                     iteration: iterations,
@@ -387,7 +397,7 @@ fn separator_of(
     cpn: &[NodeId],
     tcb: &[NodeId],
     banned: &[bool],
-) -> Option<Vec<NodeId>> {
+) -> Option<(Vec<NodeId>, u64)> {
     if cpn.is_empty() {
         return None;
     }
@@ -441,7 +451,10 @@ fn separator_of(
         sources,
         sinks,
     })?;
-    Some(result.nodes.into_iter().map(|ix| cpn[ix]).collect())
+    Some((
+        result.nodes.into_iter().map(|ix| cpn[ix]).collect(),
+        result.paths,
+    ))
 }
 
 /// `weight_with_area_versus_time_gain`: area penalty over net local timing

@@ -296,6 +296,7 @@ impl<'l> FlowSession<'l> {
         self.net.set_rail(g, rail);
         self.counters.rail_edits += 1;
         dvs_obs::counter_add("session.rail_edits", 1);
+        dvs_obs::attr_add("session.edits", || self.net.node(g).name().to_string(), 1);
         let events = self.timing.apply_gate_change(&self.net, self.lib, g);
         self.counters.sta_events += events as u64;
         dvs_obs::counter_add("session.sta_events", events as u64);
@@ -308,6 +309,7 @@ impl<'l> FlowSession<'l> {
         self.net.set_size(g, size);
         self.counters.size_edits += 1;
         dvs_obs::counter_add("session.size_edits", 1);
+        dvs_obs::attr_add("session.edits", || self.net.node(g).name().to_string(), 1);
         let events = self.timing.apply_gate_change(&self.net, self.lib, g);
         self.counters.sta_events += events as u64;
         dvs_obs::counter_add("session.sta_events", events as u64);
@@ -335,6 +337,11 @@ impl<'l> FlowSession<'l> {
         self.counters.rebuilds_avoided += 1;
         dvs_obs::counter_add("session.converters_inserted", 1);
         dvs_obs::counter_add("session.rebuilds_avoided", 1);
+        dvs_obs::attr_add(
+            "session.edits",
+            || self.net.node(driver).name().to_string(),
+            1,
+        );
         let events = self
             .timing
             .apply_converter_insertion(&self.net, self.lib, conv);
@@ -359,6 +366,11 @@ impl<'l> FlowSession<'l> {
         self.counters.rebuilds_avoided += 1;
         dvs_obs::counter_add("session.converters_removed", 1);
         dvs_obs::counter_add("session.rebuilds_avoided", 1);
+        dvs_obs::attr_add(
+            "session.edits",
+            || self.net.node(driver).name().to_string(),
+            1,
+        );
         let events = self
             .timing
             .apply_converter_removal(&self.net, self.lib, conv, driver);

@@ -102,6 +102,17 @@ impl FlowGraph {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        self.max_flow_counted(s, t).0
+    }
+
+    /// [`FlowGraph::max_flow`] that also returns the number of augmenting
+    /// paths found — the unit of max-flow *work* the attribution layer
+    /// charges to the separator that caused it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow_counted(&mut self, s: usize, t: usize) -> (u64, u64) {
         assert!(s < self.n && t < self.n && s != t, "bad terminals");
         let mut total: u64 = 0;
         let mut paths: u64 = 0;
@@ -131,7 +142,7 @@ impl FlowGraph {
             }
             if !found {
                 dvs_obs::hist_record("flow.augmenting_paths", paths);
-                return total;
+                return (total, paths);
             }
             // bottleneck
             let mut bottleneck = u64::MAX;

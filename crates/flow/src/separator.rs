@@ -29,6 +29,10 @@ pub struct SeparatorResult {
     pub nodes: Vec<usize>,
     /// Total weight (the min-cut value).
     pub weight: u64,
+    /// Augmenting paths the underlying max-flow ran — the work this
+    /// separator cost, surfaced so callers can attribute flow effort to
+    /// the boundary that caused it.
+    pub paths: u64,
 }
 
 /// Computes a minimum-weight set of nodes intersecting every directed
@@ -73,7 +77,7 @@ pub fn min_vertex_separator(problem: &SeparatorProblem) -> Option<SeparatorResul
     for &snk in &problem.sinks {
         g.add_edge(v_out(snk), t, INF);
     }
-    let value = g.max_flow(s, t);
+    let (value, paths) = g.max_flow_counted(s, t);
     if value >= INF {
         return None;
     }
@@ -86,6 +90,7 @@ pub fn min_vertex_separator(problem: &SeparatorProblem) -> Option<SeparatorResul
     Some(SeparatorResult {
         nodes,
         weight: value,
+        paths,
     })
 }
 

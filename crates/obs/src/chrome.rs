@@ -20,12 +20,13 @@
 
 use std::fmt::Write as _;
 
+use crate::record::{InstantRecord, SpanRecord};
 use crate::recorder::Trace;
 
 /// The `pid` every event carries (one process, fixed label).
 const PID: u32 = 1;
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -47,6 +48,64 @@ fn push_us(out: &mut String, ns: u64) {
     let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
 }
 
+// Per-event renderers, shared verbatim with the streaming writer
+// (`crate::stream`) so a streamed document and an in-memory render of the
+// same records are byte-identical event for event — equivalence by
+// construction, re-proven on random traces by the `stream_props` test.
+
+pub(crate) fn process_meta_into(out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"dvs-sweep\"}}}}"
+    );
+}
+
+pub(crate) fn thread_meta_into(out: &mut String, tid: u32, label: Option<&str>) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+         \"name\":\"thread_name\",\"args\":{{\"name\":\""
+    );
+    match label {
+        Some(label) => escape_into(out, label),
+        None => {
+            let _ = write!(out, "thread-{tid}");
+        }
+    }
+    out.push_str("\"}}");
+}
+
+pub(crate) fn span_event_into(out: &mut String, span: &SpanRecord) {
+    out.push_str("{\"ph\":\"X\",\"cat\":\"span\",\"name\":\"");
+    escape_into(out, span.name);
+    let _ = write!(out, "\",\"pid\":{PID},\"tid\":{},\"ts\":", span.tid);
+    push_us(out, span.start_ns);
+    out.push_str(",\"dur\":");
+    push_us(out, span.dur_ns);
+    let _ = write!(
+        out,
+        ",\"args\":{{\"start_ns\":{},\"dur_ns\":{},\"cpu_ns\":{},\"depth\":{}",
+        span.start_ns, span.dur_ns, span.cpu_ns, span.depth
+    );
+    if let Some(detail) = &span.detail {
+        out.push_str(",\"detail\":\"");
+        escape_into(out, detail);
+        out.push('"');
+    }
+    out.push_str("}}");
+}
+
+pub(crate) fn instant_event_into(out: &mut String, inst: &InstantRecord) {
+    out.push_str("{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"instant\",\"name\":\"");
+    escape_into(out, inst.name);
+    let _ = write!(out, "\",\"pid\":{PID},\"tid\":{},\"ts\":", inst.tid);
+    push_us(out, inst.t_ns);
+    out.push_str(",\"args\":{\"text\":\"");
+    escape_into(out, &inst.text);
+    out.push_str("\"}}");
+}
+
 /// Renders a drained trace as a Chrome trace-event JSON document.
 #[must_use]
 pub fn render(trace: &Trace) -> String {
@@ -63,11 +122,7 @@ pub fn render(trace: &Trace) -> String {
     };
 
     sep(&mut out);
-    let _ = write!(
-        out,
-        "{{\"ph\":\"M\",\"pid\":{PID},\"name\":\"process_name\",\
-         \"args\":{{\"name\":\"dvs-sweep\"}}}}"
-    );
+    process_meta_into(&mut out);
 
     // One named track per thread that recorded anything.
     let mut tids: Vec<u32> = trace
@@ -81,50 +136,21 @@ pub fn render(trace: &Trace) -> String {
     tids.dedup();
     for tid in tids {
         sep(&mut out);
-        let _ = write!(
-            out,
-            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
-             \"name\":\"thread_name\",\"args\":{{\"name\":\""
+        thread_meta_into(
+            &mut out,
+            tid,
+            trace.thread_labels.get(&tid).map(String::as_str),
         );
-        match trace.thread_labels.get(&tid) {
-            Some(label) => escape_into(&mut out, label),
-            None => {
-                let _ = write!(out, "thread-{tid}");
-            }
-        }
-        out.push_str("\"}}");
     }
 
     for span in &trace.spans {
         sep(&mut out);
-        out.push_str("{\"ph\":\"X\",\"cat\":\"span\",\"name\":\"");
-        escape_into(&mut out, span.name);
-        let _ = write!(out, "\",\"pid\":{PID},\"tid\":{},\"ts\":", span.tid);
-        push_us(&mut out, span.start_ns);
-        out.push_str(",\"dur\":");
-        push_us(&mut out, span.dur_ns);
-        let _ = write!(
-            out,
-            ",\"args\":{{\"start_ns\":{},\"dur_ns\":{},\"cpu_ns\":{},\"depth\":{}",
-            span.start_ns, span.dur_ns, span.cpu_ns, span.depth
-        );
-        if let Some(detail) = &span.detail {
-            out.push_str(",\"detail\":\"");
-            escape_into(&mut out, detail);
-            out.push('"');
-        }
-        out.push_str("}}");
+        span_event_into(&mut out, span);
     }
 
     for inst in &trace.instants {
         sep(&mut out);
-        out.push_str("{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"instant\",\"name\":\"");
-        escape_into(&mut out, inst.name);
-        let _ = write!(out, "\",\"pid\":{PID},\"tid\":{},\"ts\":", inst.tid);
-        push_us(&mut out, inst.t_ns);
-        out.push_str(",\"args\":{\"text\":\"");
-        escape_into(&mut out, &inst.text);
-        out.push_str("\"}}");
+        instant_event_into(&mut out, inst);
     }
 
     out.push_str("\n]}\n");

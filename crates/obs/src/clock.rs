@@ -5,26 +5,44 @@
 //! sits descheduled while siblings hog the cores would report inflated
 //! times, and a multi-job sweep would disagree with the sequential
 //! baseline. [`CpuTimer`] therefore charges only the time *this thread*
-//! actually spent on a CPU, read from `/proc/thread-self/schedstat`
-//! (cumulative on-CPU nanoseconds maintained by the Linux scheduler; no
-//! libc binding needed). Where that file is unavailable the timer degrades
-//! to a monotonic wall clock — identical to the old behaviour.
+//! actually spent on a CPU.
 //!
-//! ## Tick granularity
+//! ## Precision contract
 //!
-//! The schedstat counter only advances at scheduler accounting boundaries
-//! (timer ticks and context switches — typically every 1–10 ms), so a
-//! phase shorter than one tick can read as zero even though it burned real
-//! CPU. Worse, chopping a run into phases with independent [`CpuTimer`]s
-//! *truncates at every boundary*: each sub-tick remainder is dropped, and
-//! the per-phase columns can sum to much less than the run's true cost.
-//! [`CpuLap`] mitigates this by carrying one raw nanosecond accumulator
-//! across phase boundaries — each lap is the exact counter movement since
-//! the previous lap, so the laps telescope: their sum always equals the
-//! total counter movement over the whole run, with nothing truncated away.
-//! Individual sub-tick laps can still read 0 (the counter simply has not
-//! moved yet), but the missing time then surfaces in the lap where the
-//! tick lands instead of vanishing.
+//! [`thread_cpu_raw_ns`] reads the best thread-CPU clock the platform
+//! offers, in strict preference order:
+//!
+//! 1. **`clock_gettime(CLOCK_THREAD_CPUTIME_ID)`** (Linux x86-64, raw
+//!    syscall — no libc binding needed). Nanosecond resolution *including
+//!    the currently running timeslice*: the kernel adds the time since the
+//!    last scheduler update at read time, so even sub-tick phases report
+//!    non-zero CPU. This is the primary source; sub-millisecond phases no
+//!    longer read as 0.
+//! 2. **`/proc/thread-self/schedstat`** (other Linux targets): cumulative
+//!    on-CPU nanoseconds maintained by the scheduler. Only advances at
+//!    scheduler accounting boundaries (timer ticks and context switches —
+//!    typically every 1–10 ms), so a phase shorter than one tick can read
+//!    as zero even though it burned real CPU.
+//! 3. **Monotonic wall clock** fallback everywhere else (includes
+//!    descheduled time — identical to the pre-PR-2 behaviour).
+//!
+//! All reads within a process use the same source, so deltas are always
+//! taken on one consistent counter.
+//!
+//! ## Tick granularity and lap telescoping
+//!
+//! Under the tick-granular schedstat source, chopping a run into phases
+//! with independent [`CpuTimer`]s *truncates at every boundary*: each
+//! sub-tick remainder is dropped, and the per-phase columns can sum to
+//! much less than the run's true cost. [`CpuLap`] mitigates this by
+//! carrying one raw nanosecond accumulator across phase boundaries — each
+//! lap is the exact counter movement since the previous lap, so the laps
+//! telescope: their sum always equals the total counter movement over the
+//! whole run, with nothing truncated away. Individual sub-tick laps can
+//! still read 0 (the counter simply has not moved yet), but the missing
+//! time then surfaces in the lap where the tick lands instead of
+//! vanishing. With the `clock_gettime` source the same telescoping holds,
+//! and individual laps are additionally nanosecond-exact.
 
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -41,14 +59,65 @@ pub fn wall_ns() -> u64 {
     epoch.elapsed().as_nanos() as u64
 }
 
+/// Raw `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` on Linux x86-64, issued
+/// as a direct syscall so the std-only crate needs no libc binding. The
+/// one place the crate opts back into `unsafe`: a single `syscall`
+/// instruction writing a 16-byte `timespec` to a stack buffer we own.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod thread_clock {
+    #![allow(unsafe_code)]
+
+    const SYS_CLOCK_GETTIME: i64 = 228;
+    const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
+
+    /// This thread's CPU time in nanoseconds, or `None` if the syscall
+    /// fails (it cannot for a valid clock id and pointer, but the error
+    /// path costs nothing to keep honest).
+    pub fn now_ns() -> Option<u64> {
+        let mut ts = [0i64; 2]; // timespec: tv_sec, tv_nsec
+        let ret: i64;
+        // SAFETY: SYS_clock_gettime only writes 16 bytes through rsi,
+        // which points at `ts`, a live stack buffer of exactly that size;
+        // rcx/r11 are declared clobbered as the syscall ABI requires.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_CLOCK_GETTIME => ret,
+                in("rdi") CLOCK_THREAD_CPUTIME_ID,
+                in("rsi") ts.as_mut_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        (ret == 0).then(|| {
+            (ts[0] as u64)
+                .saturating_mul(1_000_000_000)
+                .saturating_add(ts[1] as u64)
+        })
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod thread_clock {
+    pub fn now_ns() -> Option<u64> {
+        None
+    }
+}
+
 /// Reads this thread's cumulative on-CPU time as raw nanoseconds, if the
-/// platform exposes it.
+/// platform exposes it. See the module-level *precision contract* for the
+/// source preference order and the resolution of each source.
 ///
-/// Linux: first field of `/proc/thread-self/schedstat`, nanoseconds spent
-/// executing (sum of user and system time, maintained even when
-/// `CONFIG_SCHEDSTATS` is off since it feeds `clock_gettime`'s accounting).
-/// Elsewhere: `None`. See the module docs for the counter's granularity.
+/// Linux x86-64: `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` via raw syscall
+/// — nanosecond resolution including the running timeslice. Other Linux:
+/// first field of `/proc/thread-self/schedstat`, nanoseconds spent
+/// executing (maintained even when `CONFIG_SCHEDSTATS` is off since it
+/// feeds `clock_gettime`'s accounting), tick-granular. Elsewhere: `None`.
 pub fn thread_cpu_raw_ns() -> Option<u64> {
+    if let Some(ns) = thread_clock::now_ns() {
+        return Some(ns);
+    }
     let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
     let first = text.split_whitespace().next()?;
     first.parse::<u64>().ok()
@@ -189,6 +258,26 @@ mod tests {
             total,
             Duration::from_nanos(after - start),
             "laps must sum exactly to the counter delta"
+        );
+    }
+
+    /// The precise `clock_gettime` source must resolve sub-tick work: a
+    /// ~200 µs spin (far below the 1–10 ms schedstat tick) has to move the
+    /// counter. Only meaningful where the syscall path exists.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn sub_tick_spin_reads_nonzero_cpu() {
+        let start = thread_cpu_raw_ns().expect("syscall clock available");
+        let t0 = Instant::now();
+        let mut acc = 1u64;
+        while t0.elapsed() < Duration::from_micros(200) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(acc);
+        let end = thread_cpu_raw_ns().expect("syscall clock available");
+        assert!(
+            end > start,
+            "200µs spin moved the thread-CPU clock by 0 ns (tick-granular source?)"
         );
     }
 

@@ -53,10 +53,15 @@
 //! assert_eq!(trace.spans[1].name, "phase");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the thread-CPU clock opts back in for one
+// contained raw `clock_gettime` syscall (see `clock::thread_clock`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod chrome;
+pub mod sampler;
+pub mod stream;
 pub mod summary;
 
 mod clock;
@@ -68,10 +73,13 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, RwLock};
 
+pub use attr::{AttrRollup, AttrSite};
 pub use clock::{thread_cpu_raw_ns, thread_cpu_time, wall_ns, CpuLap, CpuTimer};
 pub use record::{bucket_lo, bucket_of, Hist, InstantRecord, SpanRecord, HIST_BUCKETS};
 pub use recorder::{HistRollup, ObsMark, Recorder, Rollup, SpanRollup, Trace};
+pub use sampler::{Sampler, SamplerStats};
 pub use stderr::{install_stderr_tracer_from_env, StderrTracer};
+pub use stream::{StreamStats, Writer};
 
 /// Receives every observability record while installed via
 /// [`set_subscriber`]. All methods default to no-ops so a subscriber only
@@ -105,6 +113,13 @@ pub trait Subscriber: Send + Sync + 'static {
     fn thread_label(&self, tid: u32, label: &str) {
         let _ = (tid, label);
     }
+    /// `value` units of work (or savings) in `domain` were attributed to
+    /// the netlist site `site` — e.g. STA worklist events to the edited
+    /// gate, saved nanowatts to the demoted gate, augmenting-path work to
+    /// the separator that caused it. See [`attr_add`].
+    fn attribution(&self, tid: u32, seq: u64, domain: &'static str, site: &str, value: u64) {
+        let _ = (tid, seq, domain, site, value);
+    }
 }
 
 /// Fans every record out to two subscribers, `a` first — e.g. the classic
@@ -136,12 +151,18 @@ impl<A: Subscriber, B: Subscriber> Subscriber for Tee<A, B> {
         self.0.thread_label(tid, label);
         self.1.thread_label(tid, label);
     }
+    fn attribution(&self, tid: u32, seq: u64, domain: &'static str, site: &str, value: u64) {
+        self.0.attribution(tid, seq, domain, site, value);
+        self.1.attribution(tid, seq, domain, site, value);
+    }
 }
 
 /// Shared subscribers forward through the `Arc`, so a [`Recorder`] can be
 /// teed to a second sink while the caller keeps a handle for
-/// [`Recorder::drain`]: `Tee(rec.clone(), StderrTracer)`.
-impl<S: Subscriber> Subscriber for Arc<S> {
+/// [`Recorder::drain`]: `Tee(rec.clone(), StderrTracer)`. `?Sized` so the
+/// same impl covers `Arc<dyn Subscriber>` and tees compose over erased
+/// chains (the CLI stacks recorder + stream writer + sampler this way).
+impl<S: Subscriber + ?Sized> Subscriber for Arc<S> {
     fn span_end(&self, rec: SpanRecord) {
         (**self).span_end(rec);
     }
@@ -159,6 +180,9 @@ impl<S: Subscriber> Subscriber for Arc<S> {
     }
     fn thread_label(&self, tid: u32, label: &str) {
         (**self).thread_label(tid, label);
+    }
+    fn attribution(&self, tid: u32, seq: u64, domain: &'static str, site: &str, value: u64) {
+        (**self).attribution(tid, seq, domain, site, value);
     }
 }
 
@@ -403,6 +427,22 @@ pub fn hist_record(name: &'static str, value: u64) {
     }
     let (tid, seq) = next_seq();
     with_subscriber(|sub| sub.histogram(tid, seq, name, value));
+}
+
+/// Attributes `value` units of work in `domain` to the netlist site named
+/// by `site` — "this gate caused these STA events", "this separator cost
+/// this many augmenting paths", "this demotion saved this many nW". The
+/// site name is lazily built: `site` only runs when a subscriber is
+/// installed, so the disabled path stays allocation-free. No-op without a
+/// subscriber.
+#[inline]
+pub fn attr_add<F: FnOnce() -> String>(domain: &'static str, site: F, value: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let (tid, seq) = next_seq();
+    let site = site();
+    with_subscriber(|sub| sub.attribution(tid, seq, domain, &site, value));
 }
 
 /// Fires an instant event with a lazily-rendered text. `text` only runs

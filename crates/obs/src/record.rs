@@ -29,8 +29,10 @@ pub struct SpanRecord {
     /// Wall duration, ns.
     pub dur_ns: u64,
     /// On-CPU nanoseconds the owning thread spent inside the span (raw
-    /// schedstat counter movement — the same clock [`crate::CpuLap`]
-    /// laps; 0 where the platform offers no thread clock or the span was
+    /// thread-CPU counter movement — the same clock [`crate::CpuLap`]
+    /// laps; see [`crate::thread_cpu_raw_ns`] for the per-platform
+    /// precision contract. 0 where the platform offers no thread clock,
+    /// or under the tick-granular schedstat fallback when the span was
     /// shorter than a scheduler tick).
     pub cpu_ns: u64,
 }

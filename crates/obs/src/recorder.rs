@@ -5,8 +5,12 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
 
+use crate::attr::AttrRollup;
 use crate::record::{Hist, InstantRecord, SpanRecord};
 use crate::Subscriber;
+
+/// Per-domain attribution table: `site → (record count, value sum)`.
+type AttrTable = BTreeMap<String, (u64, u64)>;
 
 /// A [`Subscriber`] that buffers spans and instants verbatim and
 /// aggregates metrics immediately (per-edit histogram samples arrive at
@@ -36,6 +40,7 @@ struct SinkData {
     /// to the same value" from "not touched".
     gauges: BTreeMap<&'static str, (f64, u64)>,
     hists: BTreeMap<&'static str, Hist>,
+    attrs: BTreeMap<&'static str, AttrTable>,
     label: Option<String>,
 }
 
@@ -69,6 +74,7 @@ impl Recorder {
             counters: data.counters.clone(),
             gauges: data.gauges.clone(),
             hists: data.hists.clone(),
+            attrs: data.attrs.clone(),
         }
     }
 
@@ -127,11 +133,30 @@ impl Recorder {
                 (window.count > 0).then(|| HistRollup::from_hist(name, &window))
             })
             .collect();
+        let attrs = data
+            .attrs
+            .iter()
+            .filter_map(|(&domain, table)| {
+                // counts and sums are monotone, so per-site subtraction
+                // against the mark's snapshot is an exact window
+                let earlier = mark.attrs.get(domain);
+                let window: AttrTable = table
+                    .iter()
+                    .filter_map(|(site, &(count, sum))| {
+                        let (c0, s0) = earlier.and_then(|t| t.get(site)).copied().unwrap_or((0, 0));
+                        let dc = count - c0;
+                        (dc > 0).then(|| (site.clone(), (dc, sum - s0)))
+                    })
+                    .collect();
+                (!window.is_empty()).then(|| AttrRollup::from_table(domain, &window))
+            })
+            .collect();
         Rollup {
             spans: spans.into_values().collect(),
             counters,
             gauges,
             hists,
+            attrs,
         }
     }
 
@@ -163,6 +188,14 @@ impl Recorder {
                     .entry(name.to_string())
                     .or_default()
                     .merge(&hist);
+            }
+            for (domain, table) in std::mem::take(&mut data.attrs) {
+                let merged = trace.attrs.entry(domain.to_string()).or_default();
+                for (site, (count, sum)) in table {
+                    let cell = merged.entry(site).or_insert((0, 0));
+                    cell.0 += count;
+                    cell.1 = cell.1.saturating_add(sum);
+                }
             }
             if let Some(label) = data.label.take() {
                 trace.thread_labels.insert(tid, label);
@@ -211,6 +244,19 @@ impl Subscriber for Recorder {
         let sink = self.sink(tid);
         sink.data.lock().expect("recorder poisoned").label = Some(label.to_string());
     }
+
+    fn attribution(&self, tid: u32, _seq: u64, domain: &'static str, site: &str, value: u64) {
+        let sink = self.sink(tid);
+        let mut data = sink.data.lock().expect("recorder poisoned");
+        let cell = data
+            .attrs
+            .entry(domain)
+            .or_default()
+            .entry(site.to_string())
+            .or_insert((0, 0));
+        cell.0 += 1;
+        cell.1 = cell.1.saturating_add(value);
+    }
 }
 
 /// A per-thread snapshot taken by [`Recorder::mark`].
@@ -220,6 +266,7 @@ pub struct ObsMark {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, (f64, u64)>,
     hists: BTreeMap<&'static str, Hist>,
+    attrs: BTreeMap<&'static str, AttrTable>,
 }
 
 /// Everything one thread recorded inside a mark…rollup window, aggregated
@@ -234,6 +281,9 @@ pub struct Rollup {
     pub gauges: Vec<(String, f64)>,
     /// Histogram windows with at least one sample, sorted by name.
     pub hists: Vec<HistRollup>,
+    /// Per-domain attribution rollups with at least one record, sorted by
+    /// domain.
+    pub attrs: Vec<AttrRollup>,
 }
 
 impl Rollup {
@@ -244,6 +294,7 @@ impl Rollup {
             && self.counters.is_empty()
             && self.gauges.is_empty()
             && self.hists.is_empty()
+            && self.attrs.is_empty()
     }
 
     /// Zeroes every nanosecond field, leaving counts and values intact —
@@ -318,6 +369,9 @@ pub struct Trace {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram totals across all threads, by name.
     pub hists: BTreeMap<String, Hist>,
+    /// Attribution totals across all threads: `domain → site → (count,
+    /// sum)`.
+    pub attrs: BTreeMap<String, BTreeMap<String, (u64, u64)>>,
     /// Thread labels set via [`crate::set_thread_label`], by tid.
     pub thread_labels: BTreeMap<u32, String>,
 }
@@ -349,6 +403,7 @@ pub fn self_durations(spans: &[SpanRecord]) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attr::AttrSite;
     use crate::test_support;
     use crate::{counter_add, gauge_set, hist_record, set_subscriber, span};
 
@@ -379,6 +434,42 @@ mod tests {
         let h = &roll.hists[0];
         assert_eq!((h.count, h.sum), (1, 9));
         assert_eq!(h.buckets, vec![(crate::bucket_of(9), 1)]);
+    }
+
+    #[test]
+    fn attribution_windows_exactly_and_merges_on_drain() {
+        let _serial = test_support::serial();
+        let rec = Arc::new(Recorder::new());
+        set_subscriber(Some(rec.clone()));
+        crate::attr_add("sta.events", || "g1".into(), 10);
+        let mark = rec.mark();
+        crate::attr_add("sta.events", || "g1".into(), 7);
+        crate::attr_add("sta.events", || "g2".into(), 90);
+        crate::attr_add("power.saved", || "g1".into(), 5);
+        let roll = rec.rollup_since(&mark);
+        set_subscriber(None);
+
+        // window excludes the pre-mark record for g1
+        assert_eq!(roll.attrs.len(), 2);
+        let sta = &roll.attrs[1];
+        assert_eq!(sta.domain, "sta.events");
+        assert_eq!((sta.sites, sta.count, sta.sum), (2, 2, 97));
+        assert_eq!(sta.top[0].site, "g2");
+        assert_eq!(
+            sta.top[1],
+            AttrSite {
+                site: "g1".into(),
+                count: 1,
+                sum: 7
+            }
+        );
+        assert_eq!(roll.attrs[0].domain, "power.saved");
+
+        // drain merges the full (pre- and post-mark) totals
+        let trace = rec.drain();
+        assert_eq!(trace.attrs["sta.events"]["g1"], (2, 17));
+        assert_eq!(trace.attrs["sta.events"]["g2"], (1, 90));
+        assert_eq!(trace.attrs["power.saved"]["g1"], (1, 5));
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Always-on sampling profiler: a lock-free ring of 1-in-N span records.
+//!
+//! A full [`crate::Recorder`] keeps every span; fine for one sweep, too
+//! heavy to leave enabled forever. [`Sampler`] instead keeps a
+//! *deterministic* 1-in-N subsample of span records in a fixed ring
+//! buffer: the keep decision is a pure FNV-1a hash of the span's identity
+//! (`tid`, `enter_seq`, `name`) — no RNG, no per-process seed — so the
+//! same run samples the same spans, and re-running a scenario reproduces
+//! its sample population. Metrics, instants and attribution records are
+//! ignored entirely.
+//!
+//! The hot path is wait-free for the common (dropped) case — one hash and
+//! one relaxed `fetch_add` — and lock-free for kept records: the slot
+//! index comes from an atomic cursor and the slot itself is taken with a
+//! `try_lock` that *drops the record* instead of blocking when a
+//! concurrent writer holds it (counted in [`SamplerStats::contended`]).
+//! Overhead is low enough to leave the sampler installed in every sweep —
+//! `dvs-sweep --profile auto` does, and CI bounds the enabled-vs-disabled
+//! wall delta on the smallest profile.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::record::SpanRecord;
+use crate::Subscriber;
+
+/// Default sampling period for `--profile auto`: keep 1 span in 16.
+pub const AUTO_PERIOD: u64 = 16;
+
+/// Default ring capacity (kept records resident at once).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Counters describing what a [`Sampler`] saw; see [`Sampler::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Span records offered to the sampler.
+    pub seen: u64,
+    /// Records whose hash selected them (1-in-N on average).
+    pub kept: u64,
+    /// Selected records dropped because the target slot was held by a
+    /// concurrent writer (the sampler never blocks the hot path).
+    pub contended: u64,
+    /// Ring capacity; at most this many kept records are resident.
+    pub capacity: usize,
+    /// Sampling period N (kept when `hash % N == 0`).
+    pub period: u64,
+}
+
+/// A lock-free ring-buffer span sampler. See the module docs.
+pub struct Sampler {
+    period: u64,
+    slots: Box<[Mutex<Option<SpanRecord>>]>,
+    cursor: AtomicUsize,
+    seen: AtomicU64,
+    kept: AtomicU64,
+    contended: AtomicU64,
+}
+
+/// FNV-1a over the span identity. Stable across runs and platforms;
+/// 1-in-N selection via `hash % period`.
+fn span_hash(tid: u32, enter_seq: u64, name: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in tid
+        .to_le_bytes()
+        .into_iter()
+        .chain(enter_seq.to_le_bytes())
+        .chain(name.bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl Sampler {
+    /// A sampler keeping one span in `period` (min 1 = keep all) in a
+    /// ring of `capacity` slots.
+    #[must_use]
+    pub fn new(period: u64, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Sampler {
+            period: period.max(1),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            seen: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// The `--profile auto` configuration: 1-in-[`AUTO_PERIOD`] into a
+    /// [`DEFAULT_CAPACITY`]-slot ring.
+    #[must_use]
+    pub fn auto() -> Self {
+        Sampler::new(AUTO_PERIOD, DEFAULT_CAPACITY)
+    }
+
+    /// Current counters (relaxed reads; exact once recording has
+    /// stopped).
+    #[must_use]
+    pub fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            seen: self.seen.load(Ordering::Relaxed),
+            kept: self.kept.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            capacity: self.slots.len(),
+            period: self.period,
+        }
+    }
+
+    /// The resident sample population, sorted by `(tid, enter_seq)` —
+    /// deterministic for a deterministic record stream once recording has
+    /// stopped. At most `capacity` records; older kept records are
+    /// overwritten ring-wise.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        out.sort_by_key(|s| (s.tid, s.enter_seq));
+        out
+    }
+
+    /// One-line digest of the sample population for operator output:
+    /// per-name kept counts and mean wall duration, top `k` names by
+    /// count.
+    #[must_use]
+    pub fn summary(&self, k: usize) -> String {
+        use std::fmt::Write as _;
+        let stats = self.stats();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sampler: kept {} of {} spans (1-in-{}, ring {}, {} contended drops)",
+            stats.kept, stats.seen, stats.period, stats.capacity, stats.contended
+        );
+        let mut by_name: std::collections::BTreeMap<&'static str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for rec in self.snapshot() {
+            let cell = by_name.entry(rec.name).or_insert((0, 0));
+            cell.0 += 1;
+            cell.1 = cell.1.saturating_add(rec.dur_ns);
+        }
+        let mut ranked: Vec<(&'static str, u64, u64)> = by_name
+            .into_iter()
+            .map(|(name, (count, ns))| (name, count, ns))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, count, ns) in ranked.into_iter().take(k) {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>6} sampled, mean {} ns",
+                name,
+                count,
+                ns / count.max(1)
+            );
+        }
+        out
+    }
+}
+
+impl Subscriber for Sampler {
+    fn span_end(&self, rec: SpanRecord) {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+        if !span_hash(rec.tid, rec.enter_seq, rec.name).is_multiple_of(self.period) {
+            return;
+        }
+        self.kept.fetch_add(1, Ordering::Relaxed);
+        let k = self.cursor.fetch_add(1, Ordering::Relaxed);
+        match self.slots[k % self.slots.len()].try_lock() {
+            Ok(mut slot) => *slot = Some(rec),
+            Err(_) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tid: u32, enter: u64, name: &'static str) -> SpanRecord {
+        SpanRecord {
+            tid,
+            enter_seq: enter,
+            exit_seq: enter + 1,
+            parent_enter_seq: None,
+            depth: 0,
+            name,
+            detail: None,
+            start_ns: enter,
+            dur_ns: 100,
+            cpu_ns: 0,
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_runs() {
+        let run = || {
+            let s = Sampler::new(4, 64);
+            for i in 0..1000 {
+                s.span_end(rec(1, i, "phase"));
+            }
+            (s.stats().kept, s.snapshot().len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn keep_rate_is_roughly_one_in_n() {
+        let s = Sampler::new(8, 1 << 12);
+        for i in 0..8000 {
+            s.span_end(rec(1, i, "phase"));
+        }
+        let kept = s.stats().kept;
+        // hash selection: expect ~1000, accept a generous band
+        assert!(
+            (500..=1500).contains(&kept),
+            "kept {kept} of 8000 at 1-in-8"
+        );
+    }
+
+    #[test]
+    fn ring_bounds_residency() {
+        let s = Sampler::new(1, 16); // keep everything, tiny ring
+        for i in 0..1000 {
+            s.span_end(rec(1, i, "phase"));
+        }
+        let stats = s.stats();
+        assert_eq!(stats.kept, 1000);
+        assert!(s.snapshot().len() <= 16);
+    }
+
+    #[test]
+    fn period_one_keeps_all_and_snapshot_is_sorted() {
+        let s = Sampler::new(1, 128);
+        for i in (0..50).rev() {
+            s.span_end(rec(2, i, "a"));
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 50);
+        assert!(snap.windows(2).all(|w| w[0].enter_seq < w[1].enter_seq));
+        assert!(s.summary(3).contains("kept 50 of 50"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Streaming Chrome-trace export with bounded memory, and folded-stack
+//! output for flamegraph tooling.
+//!
+//! The in-memory path ([`crate::Recorder`] → [`crate::chrome::render`])
+//! buffers every span until the sweep ends, which caps how long a profile
+//! can run. [`Writer`] is a [`Subscriber`] that renders each record to its
+//! Trace-Event JSON line *as it arrives* and flushes per-thread chunks to
+//! the underlying `io::Write`, so resident memory is bounded by
+//! `threads × chunk` pending events regardless of trace length
+//! ([`StreamStats::max_buffered`] reports the observed peak so CI can
+//! check the bound).
+//!
+//! Per-event bytes come from the exact renderers `chrome::render` uses, so
+//! a streamed document contains the same events, byte for byte, as an
+//! in-memory render of the same records — only the order differs (arrival
+//! order with metadata at the end, instead of metas/spans/instants
+//! grouped), which the Trace-Event format explicitly permits. The
+//! `stream_props` proptest re-proves this equivalence on random span
+//! forests, including forced mid-stream flushes. Laminar nesting is a
+//! property of the records themselves (`enter_seq`/`exit_seq` from the
+//! span machinery), so the streamed file passes the same nesting
+//! validation as the in-memory one.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::sync::Mutex;
+
+use crate::chrome;
+use crate::record::{InstantRecord, SpanRecord};
+use crate::recorder::{self, Trace};
+use crate::Subscriber;
+
+/// Counters a [`Writer`] maintains while streaming; returned by
+/// [`Writer::finish`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Span + instant events streamed.
+    pub events: u64,
+    /// Chunk flushes issued to the underlying writer.
+    pub chunks: u64,
+    /// Peak number of rendered events pending in memory at any point —
+    /// bounded by `threads × chunk` by construction.
+    pub max_buffered: u64,
+    /// Bytes written (header, events, metadata and footer).
+    pub bytes: u64,
+}
+
+struct State<W> {
+    /// `None` once finished (or after `new` failed to write the header).
+    out: Option<W>,
+    /// First write error, if any; subsequent events are dropped and
+    /// [`Writer::finish`] surfaces it.
+    error: Option<io::Error>,
+    /// No event emitted yet (controls the comma separator).
+    first: bool,
+    /// Rendered-but-unwritten event lines, per thread.
+    pending: BTreeMap<u32, Vec<String>>,
+    /// Total events across all `pending` buffers.
+    buffered: usize,
+    /// Every tid that produced an event or label (for the trailing
+    /// `thread_name` metadata).
+    tids: BTreeSet<u32>,
+    labels: BTreeMap<u32, String>,
+    stats: StreamStats,
+}
+
+/// A [`Subscriber`] that streams span and instant records as Chrome
+/// Trace-Event JSON. See the module docs for the memory bound and the
+/// equivalence contract with [`chrome::render`].
+///
+/// Install it (usually teed with a [`crate::Recorder`]), run the
+/// workload, uninstall, then call [`Writer::finish`] to flush residual
+/// chunks and write the metadata and footer.
+pub struct Writer<W: io::Write + Send + 'static> {
+    state: Mutex<State<W>>,
+    chunk: usize,
+}
+
+impl<W: io::Write + Send + 'static> Writer<W> {
+    /// Starts a streamed document on `out`, flushing each thread's
+    /// rendered events whenever `chunk` of them are pending. The header is
+    /// written immediately.
+    pub fn new(mut out: W, chunk: usize) -> Self {
+        let mut stats = StreamStats::default();
+        let header = "{\"traceEvents\":[";
+        let (out, error) = match out.write_all(header.as_bytes()) {
+            Ok(()) => {
+                stats.bytes = header.len() as u64;
+                (Some(out), None)
+            }
+            Err(e) => (None, Some(e)),
+        };
+        Writer {
+            state: Mutex::new(State {
+                out,
+                error,
+                first: true,
+                pending: BTreeMap::new(),
+                buffered: 0,
+                tids: BTreeSet::new(),
+                labels: BTreeMap::new(),
+                stats,
+            }),
+            chunk: chunk.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<W>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn enqueue(&self, tid: u32, event: String) {
+        let mut st = self.lock();
+        if st.out.is_none() {
+            return; // finished or failed: drop silently, finish() reports
+        }
+        st.tids.insert(tid);
+        st.stats.events += 1;
+        st.buffered += 1;
+        st.stats.max_buffered = st.stats.max_buffered.max(st.buffered as u64);
+        st.pending.entry(tid).or_default().push(event);
+        if st.pending[&tid].len() >= self.chunk {
+            flush_tid(&mut st, tid);
+        }
+    }
+
+    /// Forces every thread's pending chunk out to the writer (mid-stream;
+    /// the document stays open). Used by tests to exercise partial-chunk
+    /// interleavings and available to long sweeps as a checkpoint.
+    pub fn flush_all(&self) {
+        let mut st = self.lock();
+        let tids: Vec<u32> = st.pending.keys().copied().collect();
+        for tid in tids {
+            flush_tid(&mut st, tid);
+        }
+    }
+
+    /// Flushes residual chunks, appends the process/thread metadata
+    /// events and the document footer, and closes the underlying writer.
+    /// Returns the final stats, or the first I/O error the stream hit.
+    /// Idempotent: later calls return the same stats without touching the
+    /// (already dropped) writer; events arriving after `finish` are
+    /// discarded.
+    pub fn finish(&self) -> io::Result<StreamStats> {
+        let mut st = self.lock();
+        if let Some(e) = st.error.take() {
+            st.out = None;
+            return Err(e);
+        }
+        if st.out.is_some() {
+            let tids: Vec<u32> = st.pending.keys().copied().collect();
+            for tid in tids {
+                flush_tid(&mut st, tid);
+            }
+            let mut tail = String::new();
+            let mut ev = String::new();
+            chrome::process_meta_into(&mut ev);
+            push_event(&mut tail, &mut st.first, &ev);
+            // labelled tids are also in `tids` (thread_label inserts both)
+            let tids: Vec<u32> = st.tids.iter().copied().collect();
+            for tid in tids {
+                ev.clear();
+                chrome::thread_meta_into(&mut ev, tid, st.labels.get(&tid).map(String::as_str));
+                push_event(&mut tail, &mut st.first, &ev);
+            }
+            tail.push_str("\n]}\n");
+            write_bytes(&mut st, &tail);
+            if let Some(out) = st.out.as_mut() {
+                if let Err(e) = out.flush() {
+                    st.error.get_or_insert(e);
+                }
+            }
+            st.out = None;
+            if let Some(e) = st.error.take() {
+                return Err(e);
+            }
+        }
+        Ok(st.stats)
+    }
+}
+
+/// Appends `event` to `buf` with the document separator (`,` between
+/// events, two-space indent on a fresh line — the exact layout
+/// [`chrome::render`] produces).
+fn push_event(buf: &mut String, first: &mut bool, event: &str) {
+    if *first {
+        *first = false;
+    } else {
+        buf.push(',');
+    }
+    buf.push_str("\n  ");
+    buf.push_str(event);
+}
+
+fn write_bytes<W: io::Write>(st: &mut State<W>, text: &str) {
+    if st.error.is_some() {
+        return;
+    }
+    if let Some(out) = st.out.as_mut() {
+        match out.write_all(text.as_bytes()) {
+            Ok(()) => st.stats.bytes += text.len() as u64,
+            Err(e) => st.error = Some(e),
+        }
+    }
+}
+
+fn flush_tid<W: io::Write>(st: &mut State<W>, tid: u32) {
+    let events = match st.pending.get_mut(&tid) {
+        Some(v) if !v.is_empty() => std::mem::take(v),
+        _ => return,
+    };
+    st.buffered -= events.len();
+    let mut buf = String::new();
+    for ev in &events {
+        push_event(&mut buf, &mut st.first, ev);
+    }
+    write_bytes(st, &buf);
+    st.stats.chunks += 1;
+}
+
+impl<W: io::Write + Send + 'static> Subscriber for Writer<W> {
+    fn span_end(&self, rec: SpanRecord) {
+        let mut ev = String::new();
+        chrome::span_event_into(&mut ev, &rec);
+        self.enqueue(rec.tid, ev);
+    }
+
+    fn instant(&self, rec: InstantRecord) {
+        let mut ev = String::new();
+        chrome::instant_event_into(&mut ev, &rec);
+        self.enqueue(rec.tid, ev);
+    }
+
+    fn thread_label(&self, tid: u32, label: &str) {
+        let mut st = self.lock();
+        st.tids.insert(tid);
+        st.labels.insert(tid, label.to_string());
+    }
+}
+
+/// Renders a drained trace in folded-stack form (`inferno` /
+/// `flamegraph.pl` input): one line per distinct span stack,
+/// `thread;root;…;leaf self_ns`, with self time (wall minus direct
+/// children) aggregated over all occurrences of the stack and lines
+/// sorted lexicographically — deterministic for a given trace.
+#[must_use]
+pub fn folded(trace: &Trace) -> String {
+    let index: BTreeMap<(u32, u64), usize> = trace
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ((s.tid, s.enter_seq), i))
+        .collect();
+    let self_ns = recorder::self_durations(&trace.spans);
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, span) in trace.spans.iter().enumerate() {
+        let mut names: Vec<&str> = vec![span.name];
+        let mut cursor = span;
+        while let Some(parent) = cursor.parent_enter_seq {
+            match index.get(&(cursor.tid, parent)) {
+                Some(&pi) => {
+                    cursor = &trace.spans[pi];
+                    names.push(cursor.name);
+                }
+                None => break, // parent closed outside the trace window
+            }
+        }
+        let thread = match trace.thread_labels.get(&span.tid) {
+            Some(label) => label.clone(),
+            None => format!("thread-{}", span.tid),
+        };
+        let mut stack = thread;
+        for name in names.iter().rev() {
+            stack.push(';');
+            stack.push_str(name);
+        }
+        let slot = agg.entry(stack).or_insert(0);
+        *slot = slot.saturating_add(self_ns[i]);
+    }
+    let mut out = String::new();
+    for (stack, ns) in agg {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::render;
+
+    fn span(
+        tid: u32,
+        enter: u64,
+        exit: u64,
+        parent: Option<u64>,
+        name: &'static str,
+    ) -> SpanRecord {
+        SpanRecord {
+            tid,
+            enter_seq: enter,
+            exit_seq: exit,
+            parent_enter_seq: parent,
+            depth: u32::from(parent.is_some()),
+            name,
+            detail: None,
+            start_ns: enter * 1_000,
+            dur_ns: (exit - enter) * 1_000,
+            cpu_ns: 0,
+        }
+    }
+
+    /// The set of event lines in a rendered document (order-free view).
+    fn event_lines(doc: &str) -> Vec<String> {
+        let mut lines: Vec<String> = doc
+            .lines()
+            .filter(|l| l.starts_with("  {"))
+            .map(|l| l.trim().trim_end_matches(',').to_string())
+            .collect();
+        lines.sort();
+        lines
+    }
+
+    #[test]
+    fn streamed_events_match_in_memory_render() {
+        let mut trace = Trace::default();
+        trace.thread_labels.insert(2, "worker-0".into());
+        trace.spans.push(span(1, 1, 4, None, "scenario"));
+        trace.spans.push(span(1, 2, 3, Some(1), "cvs"));
+        trace.instants.push(InstantRecord {
+            tid: 2,
+            seq: 1,
+            t_ns: 5_000,
+            name: "gscale.stop",
+            text: "stalled".into(),
+        });
+
+        let sink = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let w = Writer::new(Shared(sink.clone()), 2);
+        for s in &trace.spans {
+            w.span_end(s.clone());
+        }
+        w.thread_label(2, "worker-0");
+        for i in &trace.instants {
+            w.instant(i.clone());
+        }
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.events, 3);
+        let doc = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        assert_eq!(event_lines(&doc), event_lines(&render(&trace)));
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("\n]}\n"));
+    }
+
+    #[test]
+    fn chunking_bounds_pending_events() {
+        let w = Writer::new(Vec::new(), 8);
+        for i in 0..100 {
+            w.span_end(span(1, 2 * i + 1, 2 * i + 2, None, "s"));
+        }
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.events, 100);
+        assert!(
+            stats.max_buffered <= 8,
+            "single-thread peak {} exceeded the chunk size",
+            stats.max_buffered
+        );
+        assert!(stats.chunks >= 100 / 8);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_later_events_are_dropped() {
+        let w = Writer::new(Vec::new(), 4);
+        w.span_end(span(1, 1, 2, None, "s"));
+        let first = w.finish().unwrap();
+        w.span_end(span(1, 3, 4, None, "late"));
+        let second = w.finish().unwrap();
+        assert_eq!(first, second);
+        assert_eq!(second.events, 1);
+    }
+
+    #[test]
+    fn folded_aggregates_self_time_per_stack() {
+        let mut trace = Trace::default();
+        trace.thread_labels.insert(1, "worker-0".into());
+        // root 10µs with child 4µs, twice → root self 2×6000, child 2×4000
+        trace.spans.push(span(1, 1, 4, None, "scenario"));
+        trace.spans.push(span(1, 2, 3, Some(1), "cvs"));
+        let mut again = span(1, 5, 8, None, "scenario");
+        again.dur_ns = 10_000;
+        let mut child = span(1, 6, 7, Some(5), "cvs");
+        child.dur_ns = 4_000;
+        trace.spans[0].dur_ns = 10_000;
+        trace.spans[1].dur_ns = 4_000;
+        trace.spans.push(again);
+        trace.spans.push(child);
+        let text = folded(&trace);
+        assert_eq!(
+            text,
+            "worker-0;scenario 12000\nworker-0;scenario;cvs 8000\n"
+        );
+    }
+}

@@ -81,6 +81,7 @@ fn disabled_path_allocates_nothing() {
             dvs_obs::counter_add("session.rail_changes", 1);
             dvs_obs::gauge_set("session.nodes", i as f64);
             dvs_obs::hist_record("sta.events_per_change", i);
+            dvs_obs::attr_add("sta.events", || format!("gate-{i}"), i);
             dvs_obs::instant("gscale.stop", || format!("iter {i}: stop"));
         }
         dvs_obs::set_thread_label(|| format!("worker-{i}"));

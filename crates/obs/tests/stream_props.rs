@@ -1,0 +1,172 @@
+//! Property test for the streaming trace writer: for random span forests
+//! (multiple threads, random nesting, instants, labels) the document
+//! streamed by `stream::Writer` — with a tiny chunk size and forced
+//! mid-stream flushes at arbitrary points — contains exactly the same
+//! events as an in-memory `chrome::render` of the same records, and the
+//! same well-formed envelope. Event order may differ (arrival order with
+//! metadata trailing vs. grouped), which the Trace-Event format permits;
+//! the comparison is on the sorted per-event lines, exact to the byte.
+//!
+//! No global subscriber is installed: the writer is driven directly
+//! through its `Subscriber` methods, so this binary is safe to run in
+//! parallel with others.
+
+use dvs_obs::{chrome, stream, InstantRecord, SpanRecord, Subscriber, Trace};
+use proptest::prelude::*;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Replays `ops` as a span program for one thread without touching the
+/// global machinery: op % 4 — 0/1 → open, 2 → close innermost, 3 →
+/// instant. Returns the completed records in exit order (the order a
+/// subscriber would see) plus the instants, with timing fields derived
+/// from the op stream so durations vary.
+fn forest_for_thread(tid: u32, ops: &[u8]) -> (Vec<SpanRecord>, Vec<InstantRecord>) {
+    const NAMES: [&str; 4] = ["scenario", "circuit", "phase", "iter"];
+    let mut seq = 0u64;
+    let mut stack: Vec<(u64, Option<u64>, u32, &'static str, u64)> = Vec::new();
+    let mut spans = Vec::new();
+    let mut instants = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        match op % 4 {
+            0 | 1 => {
+                seq += 1;
+                let parent = stack.last().map(|s| s.0);
+                let depth = stack.len() as u32;
+                let start_ns = u64::from(op) * 1000 + i as u64;
+                stack.push((seq, parent, depth, NAMES[i % NAMES.len()], start_ns));
+            }
+            2 => {
+                if let Some((enter, parent, depth, name, start_ns)) = stack.pop() {
+                    seq += 1;
+                    spans.push(SpanRecord {
+                        tid,
+                        enter_seq: enter,
+                        exit_seq: seq,
+                        parent_enter_seq: parent,
+                        depth,
+                        name,
+                        detail: (op % 8 == 2).then(|| format!("detail {i}\"q\"")),
+                        start_ns,
+                        dur_ns: (seq - enter) * 500 + u64::from(op),
+                        cpu_ns: u64::from(op) * 3,
+                    });
+                }
+            }
+            _ => {
+                seq += 1;
+                instants.push(InstantRecord {
+                    tid,
+                    seq,
+                    t_ns: i as u64 * 100,
+                    name: "gscale.iteration",
+                    text: format!("op {i}\n"),
+                });
+            }
+        }
+    }
+    while let Some((enter, parent, depth, name, start_ns)) = stack.pop() {
+        seq += 1;
+        spans.push(SpanRecord {
+            tid,
+            enter_seq: enter,
+            exit_seq: seq,
+            parent_enter_seq: parent,
+            depth,
+            name,
+            detail: None,
+            start_ns,
+            dur_ns: (seq - enter) * 500,
+            cpu_ns: 0,
+        });
+    }
+    (spans, instants)
+}
+
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The sorted multiset of event lines in a rendered document (each event
+/// sits on its own two-space-indented line; the separator comma trails
+/// the previous line).
+fn event_lines(doc: &str) -> Vec<String> {
+    let mut lines: Vec<String> = doc
+        .lines()
+        .filter(|l| l.starts_with("  {"))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .collect();
+    lines.sort();
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streamed_doc_matches_in_memory_render(
+        progs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..4),
+        chunk in 1usize..5,
+        flush_every in 1usize..7,
+    ) {
+        // build the same record set both paths will see
+        let mut trace = Trace::default();
+        let mut arrival: Vec<(usize, SpanRecord)> = Vec::new();
+        let mut arrival_inst: Vec<InstantRecord> = Vec::new();
+        for (k, ops) in progs.iter().enumerate() {
+            let tid = (k + 1) as u32;
+            let (spans, instants) = forest_for_thread(tid, ops);
+            if k % 2 == 0 {
+                trace.thread_labels.insert(tid, format!("worker-{k}"));
+            }
+            for (j, s) in spans.iter().enumerate() {
+                arrival.push((j * progs.len() + k, s.clone()));
+            }
+            trace.spans.extend(spans);
+            arrival_inst.extend(instants.iter().cloned());
+            trace.instants.extend(instants);
+        }
+        // interleave the threads' spans round-robin — a worker-pool-like
+        // arrival order that differs from the drain (tid-grouped) order
+        arrival.sort_by_key(|&(k, _)| k);
+
+        let sink = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let writer = stream::Writer::new(sink.clone(), chunk);
+        for (tid, label) in &trace.thread_labels {
+            writer.thread_label(*tid, label);
+        }
+        for (i, (_, span)) in arrival.iter().enumerate() {
+            writer.span_end(span.clone());
+            if i % flush_every == 0 {
+                writer.flush_all(); // forced mid-scenario flush
+            }
+        }
+        for inst in &arrival_inst {
+            writer.instant(inst.clone());
+        }
+        let stats = writer.finish().unwrap();
+        let streamed = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+
+        let rendered = chrome::render(&trace);
+        prop_assert_eq!(event_lines(&streamed), event_lines(&rendered));
+        prop_assert!(streamed.starts_with("{\"traceEvents\":["));
+        prop_assert!(streamed.ends_with("\n]}\n"));
+        prop_assert_eq!(
+            stats.events as usize,
+            trace.spans.len() + trace.instants.len()
+        );
+        prop_assert_eq!(stats.bytes as usize, streamed.len());
+        // memory bound: never more than threads × chunk pending
+        prop_assert!(stats.max_buffered <= (progs.len() * chunk) as u64);
+    }
+}

@@ -4,10 +4,10 @@
 //! Joins the scenarios of an old and a new `BENCH_sweep.json` by id and
 //! reports per-scenario power / improvement / runtime deltas (new − old),
 //! plus ids present on only one side. Both documents must carry a schema
-//! tag this crate can read (`dvs-sweep/v1`, `v2` or `v3`) — anything
+//! tag this crate can read (`dvs-sweep/v1` through `v4`) — anything
 //! else is an error, which the CLI turns into a nonzero exit.
 //!
-//! When both sides are `v3` (or otherwise carry per-scenario `obs`
+//! When both sides are `v3`+ (or otherwise carry per-scenario `obs`
 //! objects), the diff additionally reports per-phase **self-time** deltas
 //! from the span rollups, so a "Gscale got 2× slower" regression is
 //! visible next to the power columns it did not move. The measurement
@@ -23,8 +23,14 @@ use crate::json::Json;
 /// Schema tags [`compare`] can read. `v1` documents lack the `sta`
 /// counter objects (which the diff does not consume) and, like `v2`, the
 /// per-scenario `obs` rollups (whose absence just yields empty phase
-/// deltas).
-pub const READABLE_SCHEMAS: [&str; 3] = ["dvs-sweep/v1", "dvs-sweep/v2", "dvs-sweep/v3"];
+/// deltas); `v4` adds the `attr` attribution blocks, which the diff
+/// tolerates on either side without consuming.
+pub const READABLE_SCHEMAS: [&str; 4] = [
+    "dvs-sweep/v1",
+    "dvs-sweep/v2",
+    "dvs-sweep/v3",
+    "dvs-sweep/v4",
+];
 
 /// Per-algorithm deltas of one scenario, new − old.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -449,6 +455,15 @@ mod tests {
             members.push(("obs".to_owned(), o));
         }
         sc
+    }
+
+    #[test]
+    fn v4_documents_are_readable_and_mix_with_v3() {
+        let old = doc("dvs-sweep/v3", vec![scenario("a/s0", 100.0)]);
+        let new = doc("dvs-sweep/v4", vec![scenario("a/s0", 99.0)]);
+        let cmp = compare(&old, &new).expect("v3 vs v4 must join");
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.new_schema, "dvs-sweep/v4");
     }
 
     #[test]

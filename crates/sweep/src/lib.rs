@@ -23,11 +23,11 @@
 //! fields, making the whole document byte-identical across worker counts
 //! (that is what the CI smoke test asserts).
 //!
-//! ## `BENCH_sweep.json` schema (`dvs-sweep/v3`)
+//! ## `BENCH_sweep.json` schema (`dvs-sweep/v4`)
 //!
 //! ```json
 //! {
-//!   "schema": "dvs-sweep/v3",
+//!   "schema": "dvs-sweep/v4",
 //!   "timing": true,              // false when --deterministic zeroed the clocks
 //!   "scenario_count": 39,
 //!   "summary": {                 // means over all scenarios
@@ -73,6 +73,19 @@
 //!             "min": …, "max": …,
 //!             "buckets": [[3, 17], [4, 260], …] }  // [bucket index, count]
 //!         ]
+//!       },
+//!       "attr": {                    // span-scoped attribution (v4)
+//!         "domains": [               // sorted by domain name
+//!           { "domain": "dscale.power_saved_nw",
+//!             "sites": 230,          // distinct attribution sites (gates/cuts)
+//!             "count": 230,          // records in this scenario's window
+//!             "sum": 168696,         // total attributed value (integer units)
+//!             "p50_sites": 52,       // smallest site count covering ≥50% of sum
+//!             "p90_sites": 116,      // … ≥90% — concentration measure
+//!             "top": [               // top 8 sites by value, name-ordered ties
+//!               { "site": "x9_187", "count": 1, "sum": 2212 }
+//!             ] }
+//!         ]
 //!       }
 //!     }
 //!   ]
@@ -96,15 +109,52 @@
 //! `cpu_s`/`wall_s` columns. Documents of schema `v1`/`v2` stay readable
 //! by [`compare`]; they just produce empty phase deltas.
 //!
+//! `v4` added the per-scenario `"attr"` block: **span-scoped
+//! attribution** — which gates, separators and edits the work went to,
+//! not just how much work there was. Optimization code reports
+//! `(domain, site, value)` triples through [`dvs_obs::attr_add`]; the
+//! scenario's rollup window aggregates them per site. Current domains:
+//!
+//! | domain                  | site                | value              |
+//! |-------------------------|---------------------|--------------------|
+//! | `dscale.power_saved_nw` | demoted gate        | gain, nanowatts    |
+//! | `sta.events`            | edited gate/driver  | STA worklist events|
+//! | `session.edits`         | edited gate/driver  | 1 per edit         |
+//! | `flow.augmenting_paths` | `{gate}+{n}` cut id | augmenting paths   |
+//!
+//! Every attribution value is an **integer** (power pre-scaled to
+//! nanowatts and rounded at the recording site), so unlike the `*_ns`
+//! fields the whole `attr` block is byte-identical across worker counts
+//! and timing modes — it never needs zeroing, and the CI smoke asserts
+//! the `--jobs 1` vs `--jobs 2` documents match byte for byte with
+//! `attr` included. `p50_sites`/`p90_sites` measure concentration: the
+//! smallest number of sites (taken in descending value order) covering
+//! at least 50% / 90% of the domain's total — a small `p90_sites`
+//! against a large `sites` means the cost is concentrated and worth
+//! attacking site by site (the CLI's `--attr-summary` prints exactly
+//! that view).
+//!
 //! All `cpu_s` fields are **per-thread** CPU seconds
 //! ([`dvs_core::CpuTimer`]), so a loaded pool reports the same CPU cost as
 //! a sequential baseline instead of billing descheduled time.
+//!
+//! ## Always-on profiling (`--profile`)
+//!
+//! The CLI can tee a [`dvs_obs::Sampler`] beside the recorder: a
+//! fixed-size ring keeping a deterministic 1-in-N subsample of span
+//! records (hash selection, no RNG — re-running a scenario reproduces
+//! its sample). The overhead contract is: the dropped-record path is
+//! one hash plus one relaxed atomic add, kept records never block (a
+//! contended ring slot drops the record and counts it), and resident
+//! memory is capped by the ring capacity — cheap enough to leave
+//! `--profile auto` on for every sweep, which CI verifies by bounding
+//! the enabled-vs-disabled wall-clock delta on the smallest profile.
 //!
 //! ## Trajectory diffs (`--compare`)
 //!
 //! [`compare`] joins two sweep documents by scenario id and reports
 //! per-scenario power / improvement / CPU deltas (new − old) plus ids
-//! present on only one side; when both sides are `v3` it also diffs the
+//! present on only one side; when both sides are `v3`+ it also diffs the
 //! per-phase self-times from the `obs` rollups. The CLI's
 //! `--compare OLD.json` prints the rendered table after a sweep and exits
 //! nonzero when `OLD.json` has a schema tag outside [`READABLE_SCHEMAS`];

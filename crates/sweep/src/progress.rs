@@ -76,7 +76,11 @@ impl Progress {
     pub fn line(&self) -> String {
         let done = self.done.load(Ordering::Relaxed).min(self.total);
         let elapsed = self.start.elapsed().as_secs_f64();
-        let eta = if done == 0 || done >= self.total {
+        // no completed scenario yet → no rate to extrapolate from; "--"
+        // instead of a divide-by-zero artifact on the first tick
+        let eta = if done == 0 {
+            "--".to_string()
+        } else if done >= self.total {
             "0s".to_string()
         } else {
             let per = elapsed / done as f64;
@@ -84,11 +88,12 @@ impl Progress {
             // already includes the parallelism; no further scaling
             format!("{:.0}s", per * (self.total - done) as f64)
         };
-        let eta = if done == 0 { "--".to_string() } else { eta };
         let busy_s = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
         let capacity = elapsed * self.jobs as f64;
+        // accounted busy time can exceed wall capacity (timer skew, clock
+        // granularity); a meter reading over 100% is always wrong, clamp
         let busy_pct = if capacity > 0.0 {
-            (100.0 * busy_s / capacity).min(100.0)
+            (100.0 * busy_s / capacity).clamp(0.0, 100.0)
         } else {
             0.0
         };
@@ -129,6 +134,25 @@ mod tests {
         let line = p.line();
         assert!(line.starts_with("sweep 2/2 | ETA 0s |"), "{line}");
         assert!(line.contains("workers 100% busy"), "{line}");
+    }
+
+    #[test]
+    fn first_tick_has_no_eta_and_busy_never_exceeds_100() {
+        let p = Progress::new(100, 4, true);
+        // before any completion there is no rate: must not divide by zero
+        // or print a garbage ETA
+        let line = p.line();
+        assert!(line.starts_with("sweep 0/100 | ETA -- |"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        // one absurdly long scenario: busy accounting exceeds the pool's
+        // wall capacity, the rendered fraction must clamp at 100%
+        p.scenario_done(1e9);
+        let line = p.line();
+        assert!(line.contains("workers 100% busy"), "{line}");
+        // negative wall clocks (timer skew) are treated as zero busy time
+        let q = Progress::new(10, 1, true);
+        q.scenario_done(-5.0);
+        assert!(q.line().contains("% busy"), "{}", q.line());
     }
 
     #[test]

@@ -14,8 +14,10 @@ use crate::pool;
 /// The schema tag written into (and expected from) sweep JSON documents.
 /// `v2` added the per-algorithm `sta` counter objects; `v3` added the
 /// per-scenario `obs` rollup (span self-times, counters, gauges and
-/// log₂-bucket histograms from the `dvs-obs` registry).
-pub const SCHEMA: &str = "dvs-sweep/v3";
+/// log₂-bucket histograms from the `dvs-obs` registry); `v4` added the
+/// per-scenario `attr` block (per-domain site attribution: totals, top-K
+/// sites and concentration — see the crate docs for the field table).
+pub const SCHEMA: &str = "dvs-sweep/v4";
 
 /// Flat per-algorithm numbers of one scenario (one `Table 1` + `Table 2`
 /// cell group).
@@ -266,6 +268,42 @@ fn rollup_json(rollup: &Rollup, timing: bool) -> Json {
     ])
 }
 
+fn attr_json(attrs: &[dvs_obs::AttrRollup]) -> Json {
+    Json::obj(vec![(
+        "domains",
+        Json::Arr(
+            attrs
+                .iter()
+                .map(|a| {
+                    Json::obj(vec![
+                        ("domain", Json::Str(a.domain.clone())),
+                        ("sites", Json::UInt(a.sites)),
+                        ("count", Json::UInt(a.count)),
+                        ("sum", Json::UInt(a.sum)),
+                        ("p50_sites", Json::UInt(a.p50_sites)),
+                        ("p90_sites", Json::UInt(a.p90_sites)),
+                        (
+                            "top",
+                            Json::Arr(
+                                a.top
+                                    .iter()
+                                    .map(|t| {
+                                        Json::obj(vec![
+                                            ("site", Json::Str(t.site.clone())),
+                                            ("count", Json::UInt(t.count)),
+                                            ("sum", Json::UInt(t.sum)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
 fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
     Json::obj(vec![
         ("power_uw", Json::Num(a.power_uw)),
@@ -281,7 +319,7 @@ fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
 }
 
 /// Serializes sweep results as the `BENCH_sweep.json` document (schema
-/// `dvs-sweep/v3`; see the crate docs for the full field reference).
+/// `dvs-sweep/v4`; see the crate docs for the full field reference).
 ///
 /// With `timing == false` every wall/CPU field renders as `0`, making the
 /// document a pure function of the grid — byte-identical across runs and
@@ -337,6 +375,7 @@ pub fn to_json(results: &[ScenarioResult], timing: bool) -> Json {
                             ("wall_s", Json::Num(if timing { r.wall_s } else { 0.0 })),
                             ("cpu_s", Json::Num(if timing { r.cpu_s } else { 0.0 })),
                             ("obs", rollup_json(&r.obs, timing)),
+                            ("attr", attr_json(&r.obs.attrs)),
                         ])
                     })
                     .collect(),
@@ -451,11 +490,12 @@ mod tests {
             doc, again,
             "timing-stripped document must not depend on jobs"
         );
-        assert!(doc.contains("\"schema\": \"dvs-sweep/v3\""));
+        assert!(doc.contains("\"schema\": \"dvs-sweep/v4\""));
         assert!(doc.contains("\"id\": \"x2.x1/paper/s0\""));
         assert!(doc.contains("\"hot_rebuilds\": 0"));
         assert!(doc.contains("\"sta\": {"));
         assert!(doc.contains("\"obs\": {"));
+        assert!(doc.contains("\"attr\": {"));
         // timing-on documents still validate
         let timed = to_json(&results, true).render();
         crate::json::validate(&timed).expect("valid timed JSON");
@@ -505,6 +545,20 @@ mod tests {
                     .iter()
                     .any(|h| h.name == "sta.events_per_change"),
                 "{}: no events-per-change histogram",
+                a.id
+            );
+            // attribution flowed: STA events charged to named gates,
+            // with a non-empty deterministic top-K
+            let sta_attr = a
+                .obs
+                .attrs
+                .iter()
+                .find(|d| d.domain == "sta.events")
+                .unwrap_or_else(|| panic!("{}: no sta.events attribution", a.id));
+            assert!(sta_attr.sum > 0 && !sta_attr.top.is_empty(), "{}", a.id);
+            assert!(
+                a.obs.attrs.iter().any(|d| d.domain == "session.edits"),
+                "{}: no session.edits attribution",
                 a.id
             );
             // value-determinism: identical modulo the clock fields
