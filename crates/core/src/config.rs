@@ -33,6 +33,13 @@ pub struct FlowConfig {
     /// path-conflicting rivals, and repeats — cheaper, but it can strand
     /// weight the exact antichain would have captured.
     pub dscale_greedy_selection: bool,
+    /// Serve the flow's power queries from the session's journal-aware
+    /// incremental engine (`true`, default): edits re-simulate only their
+    /// dirty fanout cones instead of the whole network. `false` restores
+    /// the pre-incremental full re-simulation driver. Results are
+    /// identical either way — the differential suite proves the
+    /// incremental path bit-compatible — only the cost moves.
+    pub incremental_power: bool,
 }
 
 impl Default for FlowConfig {
@@ -46,6 +53,7 @@ impl Default for FlowConfig {
             guard_ns: 1e-9,
             dscale_net_weighting: true,
             dscale_greedy_selection: false,
+            incremental_power: true,
         }
     }
 }

@@ -34,9 +34,11 @@
 
 use dvs_celllib::Library;
 use dvs_netlist::{Checkpoint, Network, NodeId, Rail, SizeIx};
+use dvs_power::{Activities, PowerBreakdown, PowerDelta, PowerState};
 use dvs_sta::Timing;
 
 use crate::audit::AuditError;
+use crate::config::FlowConfig;
 use crate::cvs::CvsOutcome;
 use crate::demote::DemotionPlan;
 
@@ -70,6 +72,21 @@ pub struct FlowCounters {
     /// existed, each forced a full [`Timing::rebuild`]. Always equals
     /// `converters_inserted + converters_removed`.
     pub rebuilds_avoided: u64,
+    /// Full-network power evaluations: incremental-power cache
+    /// construction ([`FlowSession::ensure_power`] on a cold or
+    /// configuration-mismatched cache) plus every explicitly requested
+    /// from-scratch simulation ([`FlowSession::simulate_power`] /
+    /// [`FlowSession::power_full`]). These are the *cold* path; the
+    /// refactored algorithms keep this at zero inside their hot loops —
+    /// the CI smoke test asserts it, mirroring `hot_rebuilds`.
+    pub full_power: u64,
+    /// Incremental power refreshes performed: queued journal deltas
+    /// absorbed by re-simulating only the dirty fanout cones.
+    pub power_resims: u64,
+    /// Power queries served from live incremental state that, before the
+    /// incremental engine existed, each forced a full-network
+    /// re-simulation.
+    pub full_power_avoided: u64,
     /// Checkpoints taken.
     pub checkpoints: u64,
     /// Rollbacks performed.
@@ -96,6 +113,11 @@ impl FlowCounters {
             rebuilds_avoided: self
                 .rebuilds_avoided
                 .saturating_sub(earlier.rebuilds_avoided),
+            full_power: self.full_power.saturating_sub(earlier.full_power),
+            power_resims: self.power_resims.saturating_sub(earlier.power_resims),
+            full_power_avoided: self
+                .full_power_avoided
+                .saturating_sub(earlier.full_power_avoided),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             rollbacks: self.rollbacks.saturating_sub(earlier.rollbacks),
         }
@@ -220,6 +242,12 @@ pub struct FlowSession<'l> {
     pub(crate) timing: Timing,
     pub(crate) tspec_ns: f64,
     pub(crate) counters: FlowCounters,
+    /// Incremental power cache, built lazily by the first
+    /// [`FlowSession::ensure_power`]. `None` until a phase asks for power;
+    /// once present, every counted mutation enqueues its
+    /// [`dvs_power::PowerDelta`] so a later refresh re-simulates only the
+    /// dirtied fanout cones.
+    pub(crate) power: Option<PowerState>,
 }
 
 impl std::fmt::Debug for FlowSession<'_> {
@@ -256,6 +284,7 @@ impl<'l> FlowSession<'l> {
                 full_analyses: 1,
                 ..FlowCounters::default()
             },
+            power: None,
         }
     }
 
@@ -294,6 +323,9 @@ impl<'l> FlowSession<'l> {
     /// cone. Returns the number of STA worklist events processed.
     pub fn set_rail(&mut self, g: NodeId, rail: Rail) -> usize {
         self.net.set_rail(g, rail);
+        if let Some(p) = self.power.as_mut() {
+            p.note(PowerDelta::Rail(g));
+        }
         self.counters.rail_edits += 1;
         dvs_obs::counter_add("session.rail_edits", 1);
         dvs_obs::attr_add("session.edits", || self.net.node(g).name().to_string(), 1);
@@ -307,6 +339,9 @@ impl<'l> FlowSession<'l> {
     /// cone. Returns the number of STA worklist events processed.
     pub fn set_size(&mut self, g: NodeId, size: SizeIx) -> usize {
         self.net.set_size(g, size);
+        if let Some(p) = self.power.as_mut() {
+            p.note(PowerDelta::SetSize(g));
+        }
         self.counters.size_edits += 1;
         dvs_obs::counter_add("session.size_edits", 1);
         dvs_obs::attr_add("session.edits", || self.net.node(g).name().to_string(), 1);
@@ -333,6 +368,9 @@ impl<'l> FlowSession<'l> {
         let conv = self
             .net
             .insert_converter(driver, sinks, cover_outputs, self.lib.converter())?;
+        if let Some(p) = self.power.as_mut() {
+            p.note(PowerDelta::ConverterInserted { conv, driver });
+        }
         self.counters.converters_inserted += 1;
         self.counters.rebuilds_avoided += 1;
         dvs_obs::counter_add("session.converters_inserted", 1);
@@ -358,10 +396,23 @@ impl<'l> FlowSession<'l> {
     /// Propagates [`dvs_netlist::NetlistError`] from
     /// [`Network::remove_converter`]; on error nothing changes.
     pub fn remove_converter(&mut self, conv: NodeId) -> Result<(), dvs_netlist::NetlistError> {
-        // capture the driver before the splice clears the tombstone's lists
+        // capture the driver and sinks before the splice clears the
+        // tombstone's lists
         let driver = self.net.node(conv).fanins().first().copied();
+        let sinks = if self.power.is_some() {
+            self.net.fanouts(conv).to_vec()
+        } else {
+            Vec::new()
+        };
         self.net.remove_converter(conv)?;
         let driver = driver.expect("remove_converter validated a single fanin");
+        if let Some(p) = self.power.as_mut() {
+            p.note(PowerDelta::ConverterRemoved {
+                conv,
+                driver,
+                sinks,
+            });
+        }
         self.counters.converters_removed += 1;
         self.counters.rebuilds_avoided += 1;
         dvs_obs::counter_add("session.converters_removed", 1);
@@ -394,13 +445,15 @@ impl<'l> FlowSession<'l> {
     pub fn rollback(&mut self, cp: Checkpoint) {
         let touched = self.net.rollback_to(cp);
         self.timing = Timing::analyze(&self.net, self.lib, self.tspec_ns);
+        let nodes_touched = touched.len();
+        if let Some(p) = self.power.as_mut() {
+            p.note(PowerDelta::Rollback { touched });
+        }
         self.counters.rollbacks += 1;
         self.counters.full_analyses += 1;
         dvs_obs::counter_add("session.rollbacks", 1);
         dvs_obs::counter_add("session.full_analyses", 1);
-        self.emit(TraceEvent::Rollback {
-            nodes_touched: touched.len(),
-        });
+        self.emit(TraceEvent::Rollback { nodes_touched });
     }
 
     /// Escape hatch: full timing rebuild *inside* a phase, counted in
@@ -411,6 +464,121 @@ impl<'l> FlowSession<'l> {
         self.timing.rebuild(&self.net, self.lib);
         self.counters.hot_rebuilds += 1;
         dvs_obs::counter_add("session.hot_rebuilds", 1);
+    }
+
+    /// `true` if the incremental power cache exists and serves `cfg`'s
+    /// simulation configuration — i.e. the next power query is a hot hit.
+    fn power_matches(&self, cfg: &FlowConfig) -> bool {
+        matches!(&self.power, Some(p) if p.matches(cfg.sim_vectors, cfg.sim_seed, cfg.fclk_mhz))
+    }
+
+    /// Brings the incremental power cache up to date with the current
+    /// network: builds it with one full simulation if absent or opened for
+    /// a different configuration (counted in [`FlowCounters::full_power`]),
+    /// otherwise absorbs any queued journal deltas by re-simulating only
+    /// the dirty fanout cones (counted in [`FlowCounters::power_resims`],
+    /// cone sizes attributed under `power.cone_nodes`).
+    ///
+    /// Phases call this *before* snapshotting entry counters so the
+    /// one-time cache construction is billed to session setup, mirroring
+    /// how [`FlowSession::new`] pays the first timing analysis.
+    pub fn ensure_power(&mut self, cfg: &FlowConfig) {
+        if !self.power_matches(cfg) {
+            self.power = Some(PowerState::new(
+                &self.net,
+                self.lib,
+                cfg.sim_vectors,
+                cfg.sim_seed,
+                cfg.fclk_mhz,
+            ));
+            self.counters.full_power += 1;
+            dvs_obs::counter_add("session.full_power", 1);
+            return;
+        }
+        let p = self.power.as_mut().expect("matched above");
+        if p.has_pending() {
+            let stats = p.refresh(&self.net, self.lib);
+            self.counters.power_resims += 1;
+            dvs_obs::counter_add("session.power_resims", 1);
+            dvs_obs::attr_add(
+                "power.cone_nodes",
+                || self.net.name().to_string(),
+                stats.cone_nodes as u64,
+            );
+        }
+    }
+
+    /// The Eq. (1) power breakdown of the current network, served
+    /// incrementally: refreshes the cache ([`FlowSession::ensure_power`])
+    /// and re-runs the estimator summation over cached per-node state —
+    /// bit-compatible with a from-scratch [`dvs_power::simulate`] +
+    /// [`dvs_power::estimate`]. Queries served without a full simulation
+    /// are counted in [`FlowCounters::full_power_avoided`].
+    pub fn power(&mut self, cfg: &FlowConfig) -> PowerBreakdown {
+        let hot = self.power_matches(cfg);
+        self.ensure_power(cfg);
+        if hot {
+            self.counters.full_power_avoided += 1;
+            dvs_obs::counter_add("session.full_power_avoided", 1);
+        }
+        self.power
+            .as_ref()
+            .expect("ensure_power built the cache")
+            .breakdown(&self.net, self.lib)
+    }
+
+    /// The per-net switching activities of the current network. With
+    /// [`FlowConfig::incremental_power`] set (the default) these come from
+    /// the incremental cache — exactly what [`dvs_power::simulate`] would
+    /// return, without the full-network re-simulation; otherwise this
+    /// falls back to [`FlowSession::simulate_power`].
+    pub fn power_activities(&mut self, cfg: &FlowConfig) -> Activities {
+        if !cfg.incremental_power {
+            return self.simulate_power(cfg);
+        }
+        let hot = self.power_matches(cfg);
+        self.ensure_power(cfg);
+        if hot {
+            self.counters.full_power_avoided += 1;
+            dvs_obs::counter_add("session.full_power_avoided", 1);
+        }
+        self.power
+            .as_ref()
+            .expect("ensure_power built the cache")
+            .activities()
+            .clone()
+    }
+
+    /// Total power (µW) of the current network, dispatching on
+    /// [`FlowConfig::incremental_power`]: the incremental path
+    /// ([`FlowSession::power`]) by default, the from-scratch path
+    /// ([`FlowSession::power_full`]) when disabled. Both return identical
+    /// values — the differential suite proves bit-compatibility — only the
+    /// cost moves.
+    pub fn measure_power(&mut self, cfg: &FlowConfig) -> f64 {
+        if cfg.incremental_power {
+            self.power(cfg).total_uw
+        } else {
+            self.power_full(cfg).total_uw
+        }
+    }
+
+    /// Escape hatch: from-scratch power breakdown (full simulation +
+    /// estimate), counted in [`FlowCounters::full_power`]. The shipped
+    /// algorithms never call this on their hot paths — it exists for the
+    /// `incremental_power = false` reference driver and for experiments.
+    pub fn power_full(&mut self, cfg: &FlowConfig) -> PowerBreakdown {
+        let acts = self.simulate_power(cfg);
+        dvs_power::estimate(&self.net, self.lib, &acts, cfg.fclk_mhz)
+    }
+
+    /// Escape hatch: full-network activity simulation, counted in
+    /// [`FlowCounters::full_power`] (mirroring
+    /// [`FlowSession::rebuild_timing`] for timing).
+    pub fn simulate_power(&mut self, cfg: &FlowConfig) -> Activities {
+        self.counters.full_power += 1;
+        dvs_obs::counter_add("session.full_power", 1);
+        dvs_power::simulate(&self.net, self.lib, cfg.sim_vectors, cfg.sim_seed)
     }
 
     /// Runs a [CVS](crate::cvs) pass inside the session, counting each

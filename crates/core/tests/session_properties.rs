@@ -1,12 +1,14 @@
 //! Property tests of the `FlowSession` transaction layer: random edit
 //! sequences (rail flips, resizes, converter splices/removals, rollbacks)
 //! must keep the incrementally maintained timing value-identical to a
-//! from-scratch [`Timing::analyze`], and a rollback must restore the
-//! network bit-exactly.
+//! from-scratch [`Timing::analyze`] — and the incrementally maintained
+//! power *bit-identical* to a from-scratch `simulate` + `estimate` — and
+//! a rollback must restore the network bit-exactly.
 
 use dvs_celllib::{compass, Library, VoltagePair};
-use dvs_core::FlowSession;
+use dvs_core::{FlowConfig, FlowSession};
 use dvs_netlist::{Network, NodeId, Rail, SizeIx};
+use dvs_power::{estimate, simulate};
 use dvs_sta::Timing;
 use proptest::prelude::*;
 
@@ -83,6 +85,29 @@ fn assert_timing_fresh(sess: &FlowSession<'_>) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Asserts the session's incremental power state matches a from-scratch
+/// `simulate` + `estimate` exactly — `f64 ==`, not epsilon: the engine
+/// re-runs the identical summation over identically recomputed state.
+fn assert_power_fresh(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> Result<(), TestCaseError> {
+    let got = sess.power(cfg);
+    let fresh = simulate(
+        sess.network(),
+        sess.library(),
+        cfg.sim_vectors,
+        cfg.sim_seed,
+    );
+    let want = estimate(sess.network(), sess.library(), &fresh, cfg.fclk_mhz);
+    prop_assert_eq!(got.switching_uw, want.switching_uw);
+    prop_assert_eq!(got.converter_uw, want.converter_uw);
+    prop_assert_eq!(got.input_net_uw, want.input_net_uw);
+    prop_assert_eq!(got.leakage_uw, want.leakage_uw);
+    prop_assert_eq!(got.total_uw, want.total_uw);
+    for id in sess.network().node_ids() {
+        prop_assert_eq!(got.node_uw(id), want.node_uw(id), "node_uw({})", id);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -99,8 +124,10 @@ proptest! {
         let nominal = Timing::analyze(&net, &lib, 0.0).critical_delay_ns(&net);
         prop_assume!(nominal > 0.0);
         let reference = net.clone();
+        let cfg = FlowConfig { sim_vectors: 64, ..FlowConfig::default() };
         let mut sess = FlowSession::new(net, &lib, nominal * tspec_scale);
         let base = sess.checkpoint();
+        assert_power_fresh(&mut sess, &cfg)?;
         let mut converters: Vec<NodeId> = Vec::new();
         let mut inner: Option<dvs_netlist::Checkpoint> = None;
 
@@ -158,6 +185,7 @@ proptest! {
             }
             prop_assert!(sess.network().validate(None).is_ok());
             assert_timing_fresh(&sess)?;
+            assert_power_fresh(&mut sess, &cfg)?;
         }
 
         // counters never report a hot rebuild for journaled edit streams
@@ -166,6 +194,9 @@ proptest! {
             sess.counters().rebuilds_avoided,
             sess.counters().converters_inserted + sess.counters().converters_removed
         );
+        // ... nor a full power evaluation after the cache is built: the
+        // one construction is the only full simulation the session ever ran
+        prop_assert_eq!(sess.counters().full_power, 1);
 
         // full unwind: bit-exact network restoration + fresh-equal timing
         sess.rollback(base);
@@ -181,5 +212,6 @@ proptest! {
             reference.primary_outputs()
         );
         assert_timing_fresh(&sess)?;
+        assert_power_fresh(&mut sess, &cfg)?;
     }
 }

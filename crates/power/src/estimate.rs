@@ -48,13 +48,31 @@ impl PowerBreakdown {
 /// Panics if `acts` was computed on a network with fewer node slots (stale
 /// after a structural edit — re-run [`crate::simulate`] first).
 pub fn estimate(net: &Network, lib: &Library, acts: &Activities, fclk_mhz: f64) -> PowerBreakdown {
+    let po_counts = po_sink_counts(net);
+    estimate_with(net, lib, acts, fclk_mhz, |id| {
+        load_pf(net, lib, id, &po_counts)
+    })
+}
+
+/// The Eq. (1) summation loop with the load model injected: [`estimate`]
+/// computes loads from scratch, while the incremental engine
+/// ([`crate::PowerState`]) supplies its maintained per-node load cache.
+/// Everything else — iteration order, per-term arithmetic, accumulation
+/// order — is this one function, which is what makes the incremental
+/// breakdown bit-compatible with a from-scratch [`estimate`].
+pub(crate) fn estimate_with(
+    net: &Network,
+    lib: &Library,
+    acts: &Activities,
+    fclk_mhz: f64,
+    load_of: impl Fn(NodeId) -> f64,
+) -> PowerBreakdown {
     assert!(
         acts.len() >= net.node_count(),
         "activities are stale: {} slots for {} nodes — re-simulate",
         acts.len(),
         net.node_count()
     );
-    let po_counts = po_sink_counts(net);
     let mut per_node_uw = vec![0.0; net.node_count()];
     let mut switching = 0.0;
     let mut converter = 0.0;
@@ -63,7 +81,7 @@ pub fn estimate(net: &Network, lib: &Library, acts: &Activities, fclk_mhz: f64) 
     let vh = lib.rail_voltage(Rail::High);
     for id in net.node_ids() {
         let node = net.node(id);
-        let load = load_pf(net, lib, id, &po_counts);
+        let load = load_of(id);
         if !node.is_gate() {
             // primary-input nets are charged externally (SIS convention)
             input_net_uw += acts.switching(id) * fclk_mhz * load * vh * vh;

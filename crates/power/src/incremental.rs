@@ -1,0 +1,539 @@
+//! Journal-aware incremental power: re-simulate only the fanout cones an
+//! edit batch dirtied, and keep per-node loads cached, so that re-running
+//! the Eq. (1) estimator after every candidate edit costs O(cone), not
+//! O(network).
+//!
+//! # The incremental contract
+//!
+//! [`PowerState`] caches, for one `(vectors, seed, fclk_mhz)` simulation
+//! configuration:
+//!
+//! * the node-major bit-parallel **waveforms** of every node (the raw
+//!   simulation state of [`crate::simulate`]),
+//! * the derived per-net **activities** (`p_one`/`sw01`),
+//! * the per-node capacitive **loads** (`load_pf` values) plus the
+//!   primary-output sink counts they depend on.
+//!
+//! Each netlist edit is reported as a [`PowerDelta`] (mirroring the edit
+//! journal's deltas); [`PowerState::refresh`] then absorbs a whole batch at
+//! once. What invalidates what:
+//!
+//! | delta | waveforms | loads |
+//! |---|---|---|
+//! | `Rail` | nothing | nothing (voltages are read live) |
+//! | `Size(g)` | nothing | fanins of `g` (its input pins grew/shrank) |
+//! | `ConverterInserted` | seed the converter's cone | driver + converter |
+//! | `ConverterRemoved` | seed the orphaned sinks' cones | driver |
+//! | `Rollback` | seed every touched node's cone | touched ∪ their fanins |
+//!
+//! Cone re-simulation walks the dirty region in topological order (a
+//! min-heap over topological positions) and **cuts off early**: a node
+//! whose recomputed waveform is bit-identical to the cached one does not
+//! enqueue its fanouts. Because the flow's only structural edit splices
+//! identity (`BUF`) converters, cones collapse after one level — the
+//! machinery stays correct for arbitrary logic replacements regardless.
+//!
+//! # Exactness guarantee
+//!
+//! [`PowerState::breakdown`] is **bit-compatible** with a from-scratch
+//! [`crate::simulate`] + [`crate::estimate`] pair: identical waveforms
+//! (same PI stream, same word-level evaluation), identical statistics
+//! (shared tail-mask counting code), identical loads (same `load_pf`
+//! inputs), and the identical summation loop in the identical node order
+//! (both paths run [`crate::estimate`]'s loop; only the load lookup is
+//! injected). Equality is `f64 ==`, not epsilon — the differential
+//! property suite (`tests/incremental_diff.rs`) asserts it across random
+//! networks × random edit/rollback streams. Note that a running total
+//! patched by subtract-and-replace could *not* make this guarantee
+//! (floating-point addition does not reassociate), which is why totals are
+//! re-summed from cached per-node state instead.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dvs_celllib::Library;
+use dvs_netlist::{Network, NodeId};
+use dvs_sta::{load_pf, po_sink_counts};
+
+use crate::estimate::estimate_with;
+use crate::sim::{eval_row_into, row_stats, simulate_data};
+use crate::{Activities, PowerBreakdown};
+
+/// One network edit the power cache must absorb, mirroring the netlist
+/// edit journal's deltas. Enqueue with [`PowerState::note`]; a batch is
+/// absorbed by the next [`PowerState::refresh`].
+#[derive(Debug, Clone)]
+pub enum PowerDelta {
+    /// A supply-rail reassignment. Invalidates *nothing* cached — signal
+    /// activity is pure logic, loads are pure structure and sizing, and
+    /// the estimator reads rail voltages live from the network — but is
+    /// recorded so the delta stream stays a faithful journal mirror.
+    Rail(NodeId),
+    /// A drive-size reassignment of `g`: every fanin of `g` now sees a
+    /// different input-pin capacitance, so their loads are recomputed.
+    SetSize(NodeId),
+    /// A level converter `conv` was spliced after `driver`. Structural:
+    /// the node set grew, primary outputs may have moved, and the new
+    /// gate needs a waveform (seeded from `driver`'s cached row).
+    ConverterInserted {
+        /// The freshly inserted converter gate.
+        conv: NodeId,
+        /// The gate (or primary input) it restores.
+        driver: NodeId,
+    },
+    /// The converter `conv` was bypassed and tombstoned. `sinks` must be
+    /// its fanouts *captured before the removal* (afterwards the
+    /// tombstone's lists are cleared).
+    ConverterRemoved {
+        /// The tombstoned converter.
+        conv: NodeId,
+        /// Its former single fanin, which re-adopts the sinks.
+        driver: NodeId,
+        /// Fanouts of `conv` at removal time, now re-wired to `driver`.
+        sinks: Vec<NodeId>,
+    },
+    /// A journal rollback restored an earlier network state. `touched` is
+    /// the list [`Network::rollback_to`] returns: every live
+    /// pre-checkpoint node whose rail, size or connectivity the unwind
+    /// rewrote (post-checkpoint nodes are truncated away and handled by
+    /// the refresh's array resize).
+    Rollback {
+        /// Live pre-checkpoint nodes the rollback touched.
+        touched: Vec<NodeId>,
+    },
+}
+
+/// What one [`PowerState::refresh`] did, for instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Deltas absorbed by this refresh.
+    pub deltas: usize,
+    /// Gate waveforms re-evaluated: the union of the dirty fanout cones,
+    /// after the early bit-identical cutoff.
+    pub cone_nodes: usize,
+    /// Per-node loads recomputed.
+    pub loads: usize,
+}
+
+/// Incrementally maintained power-estimation state for one network under
+/// journaled edits. See the module docs for the invalidation table and
+/// the exactness guarantee.
+#[derive(Debug, Clone)]
+pub struct PowerState {
+    vectors: usize,
+    seed: u64,
+    fclk_mhz: f64,
+    words: usize,
+    /// Node-major waveforms; node `i` owns `values[i*words..(i+1)*words]`.
+    /// Rows of dead nodes are stale garbage and are never read: the
+    /// estimator skips dead nodes, and a cone evaluation only reads the
+    /// fanins of live gates. A revived node is always in a rollback's
+    /// `touched` set and therefore re-evaluated.
+    values: Vec<u64>,
+    acts: Activities,
+    load: Vec<f64>,
+    po_counts: Vec<u32>,
+    pending: Vec<PowerDelta>,
+}
+
+impl PowerState {
+    /// Builds the cache with one full-network simulation (equiprobable
+    /// inputs, as [`crate::simulate`]) plus one full load computation.
+    pub fn new(net: &Network, lib: &Library, vectors: usize, seed: u64, fclk_mhz: f64) -> Self {
+        let probs = vec![0.5; net.primary_input_count()];
+        let data = simulate_data(net, lib, vectors, seed, &probs);
+        let po_counts = po_sink_counts(net);
+        let load = (0..net.node_count())
+            .map(|ix| load_pf(net, lib, NodeId::from_index(ix), &po_counts))
+            .collect();
+        PowerState {
+            vectors,
+            seed,
+            fclk_mhz,
+            words: data.words,
+            values: data.values,
+            acts: data.acts,
+            load,
+            po_counts,
+            pending: Vec::new(),
+        }
+    }
+
+    /// `true` if this state serves the given simulation configuration.
+    pub fn matches(&self, vectors: usize, seed: u64, fclk_mhz: f64) -> bool {
+        self.vectors == vectors && self.seed == seed && self.fclk_mhz == fclk_mhz
+    }
+
+    /// Records one edit for the next [`PowerState::refresh`].
+    pub fn note(&mut self, delta: PowerDelta) {
+        self.pending.push(delta);
+    }
+
+    /// `true` if deltas are queued — the next refresh has work to do.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// The cached per-net activities; exactly what [`crate::simulate`]
+    /// would return on the current network (after a clean refresh).
+    pub fn activities(&self) -> &Activities {
+        &self.acts
+    }
+
+    /// The clock frequency (MHz) this state's breakdowns use.
+    pub fn fclk_mhz(&self) -> f64 {
+        self.fclk_mhz
+    }
+
+    /// Absorbs every queued delta: resizes the caches to the current node
+    /// count, re-simulates the dirty fanout cones (with early cutoff) and
+    /// recomputes the dirty loads. `net` must be the network all queued
+    /// deltas were applied to, in order.
+    pub fn refresh(&mut self, net: &Network, lib: &Library) -> RefreshStats {
+        let deltas = std::mem::take(&mut self.pending);
+        let mut stats = RefreshStats {
+            deltas: deltas.len(),
+            ..RefreshStats::default()
+        };
+        if deltas.is_empty() {
+            return stats;
+        }
+        let n = net.node_count();
+        let alive = |id: NodeId| id.index() < n && !net.node(id).is_dead();
+
+        // Classify the batch. All dirty sets are interpreted against the
+        // *current* network: an id edited and later truncated/tombstoned
+        // inside one batch is simply dropped (nothing live depends on it).
+        let mut structural = false;
+        let mut seeds: Vec<NodeId> = Vec::new();
+        let mut load_dirty: Vec<NodeId> = Vec::new();
+        for d in &deltas {
+            match d {
+                PowerDelta::Rail(_) => {}
+                PowerDelta::SetSize(g) => {
+                    if alive(*g) {
+                        load_dirty.extend_from_slice(net.fanins(*g));
+                    }
+                }
+                PowerDelta::ConverterInserted { conv, driver } => {
+                    structural = true;
+                    seeds.push(*conv);
+                    load_dirty.push(*driver);
+                    load_dirty.push(*conv);
+                }
+                PowerDelta::ConverterRemoved { driver, sinks, .. } => {
+                    structural = true;
+                    seeds.extend_from_slice(sinks);
+                    load_dirty.push(*driver);
+                }
+                PowerDelta::Rollback { touched } => {
+                    structural = true;
+                    for &t in touched {
+                        seeds.push(t);
+                        load_dirty.push(t);
+                        if alive(t) {
+                            load_dirty.extend_from_slice(net.fanins(t));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Resize every cache to the current node count: growth zero-fills
+        // (new slots are always seeded below), shrink truncates the slots
+        // a rollback freed.
+        if self.acts.sw01.len() != n {
+            self.values.resize(n * self.words, 0);
+            self.acts.p_one.resize(n, 0.0);
+            self.acts.sw01.resize(n, 0.0);
+            self.load.resize(n, 0.0);
+        }
+        if structural {
+            self.po_counts = po_sink_counts(net);
+        }
+
+        // Cone re-simulation in topological order with early cutoff.
+        if !seeds.is_empty() {
+            let order = net.topo_order();
+            let mut pos = vec![usize::MAX; n];
+            for (p, &id) in order.iter().enumerate() {
+                pos[id.index()] = p;
+            }
+            let mut queued = vec![false; n];
+            let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+            for &s in &seeds {
+                if alive(s) && net.node(s).is_gate() && !queued[s.index()] {
+                    queued[s.index()] = true;
+                    heap.push(Reverse((pos[s.index()], s.index())));
+                }
+            }
+            let mut scratch = vec![0u64; self.words];
+            let mut pin_buf: Vec<u64> = Vec::with_capacity(8);
+            while let Some(Reverse((_, ix))) = heap.pop() {
+                let id = NodeId::from_index(ix);
+                eval_row_into(
+                    net,
+                    lib,
+                    &self.values,
+                    self.words,
+                    id,
+                    &mut scratch,
+                    &mut pin_buf,
+                );
+                stats.cone_nodes += 1;
+                let row = &mut self.values[ix * self.words..][..self.words];
+                if row != &scratch[..] {
+                    row.copy_from_slice(&scratch);
+                    let (p, s) = row_stats(&scratch, self.vectors);
+                    self.acts.p_one[ix] = p;
+                    self.acts.sw01[ix] = s;
+                    for &f in net.fanouts(id) {
+                        if net.node(f).is_gate() && !net.node(f).is_dead() && !queued[f.index()] {
+                            queued[f.index()] = true;
+                            heap.push(Reverse((pos[f.index()], f.index())));
+                        }
+                    }
+                }
+                // bit-identical recomputation: cached stats already agree,
+                // and no downstream waveform can differ — cut the cone off
+            }
+        }
+
+        // Load recomputation (deduplicated, deterministic order).
+        let mut dirty: Vec<usize> = load_dirty
+            .into_iter()
+            .filter(|&id| id.index() < n)
+            .map(NodeId::index)
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for ix in dirty {
+            let id = NodeId::from_index(ix);
+            self.load[ix] = if net.node(id).is_dead() {
+                0.0
+            } else {
+                load_pf(net, lib, id, &self.po_counts)
+            };
+            stats.loads += 1;
+        }
+        stats
+    }
+
+    /// The Eq. (1) breakdown of the current network from cached state —
+    /// bit-compatible with a from-scratch [`crate::simulate`] +
+    /// [`crate::estimate`] (see the module docs). Call after a refresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if deltas are still pending, or if the cache was
+    /// never refreshed after a structural edit grew the network.
+    pub fn breakdown(&self, net: &Network, lib: &Library) -> PowerBreakdown {
+        debug_assert!(
+            self.pending.is_empty(),
+            "breakdown with {} unabsorbed deltas — refresh first",
+            self.pending.len()
+        );
+        estimate_with(net, lib, &self.acts, self.fclk_mhz, |id| {
+            self.load[id.index()]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{estimate, simulate};
+    use dvs_celllib::{compass, VoltagePair};
+    use dvs_netlist::{Rail, SizeIx};
+
+    fn lib() -> Library {
+        compass::compass_library(VoltagePair::default())
+    }
+
+    /// `breakdown` must equal a from-scratch simulate+estimate exactly —
+    /// every field, every per-node term, `f64 ==`.
+    fn assert_exact(ps: &PowerState, net: &Network, lib: &Library) {
+        let fresh = simulate(net, lib, ps.vectors, ps.seed);
+        let want = estimate(net, lib, &fresh, ps.fclk_mhz);
+        let got = ps.breakdown(net, lib);
+        assert_eq!(got.switching_uw, want.switching_uw);
+        assert_eq!(got.converter_uw, want.converter_uw);
+        assert_eq!(got.input_net_uw, want.input_net_uw);
+        assert_eq!(got.leakage_uw, want.leakage_uw);
+        assert_eq!(got.total_uw, want.total_uw);
+        for id in net.node_ids() {
+            assert_eq!(got.node_uw(id), want.node_uw(id), "node {id}");
+            assert_eq!(ps.activities().switching(id), fresh.switching(id));
+            assert_eq!(ps.activities().one_prob(id), fresh.one_prob(id));
+        }
+    }
+
+    #[test]
+    fn fresh_state_matches_scratch() {
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", inv, &[a]);
+        net.add_output("y", g);
+        let ps = PowerState::new(&net, &lib, 256, 7, 20.0);
+        assert!(ps.matches(256, 7, 20.0));
+        assert!(!ps.matches(256, 8, 20.0));
+        assert!(!ps.has_pending());
+        assert_exact(&ps, &net, &lib);
+    }
+
+    #[test]
+    fn rail_and_size_edits_patch_loads_only() {
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g1 = net.add_gate("g1", inv, &[a]);
+        let g2 = net.add_gate("g2", inv, &[g1]);
+        net.add_output("y", g2);
+        let mut ps = PowerState::new(&net, &lib, 256, 7, 20.0);
+
+        net.set_rail(g1, Rail::Low);
+        ps.note(PowerDelta::Rail(g1));
+        net.set_size(g2, SizeIx(2));
+        ps.note(PowerDelta::SetSize(g2));
+        let stats = ps.refresh(&net, &lib);
+        assert_eq!(stats.deltas, 2);
+        assert_eq!(stats.cone_nodes, 0, "no waveform can change");
+        assert_eq!(stats.loads, 1, "only g2's fanin g1 is load-dirty");
+        assert_exact(&ps, &net, &lib);
+    }
+
+    #[test]
+    fn converter_insert_on_pi_adjacent_net() {
+        // the converter's driver is the first gate after a primary input,
+        // and the PI's own net load stays untouched while the driver's is
+        // re-split between converter and remaining sinks
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let drv = net.add_gate("drv", inv, &[a]);
+        let s1 = net.add_gate("s1", inv, &[drv]);
+        let s2 = net.add_gate("s2", inv, &[drv]);
+        net.add_output("y1", s1);
+        net.add_output("y2", s2);
+        let mut ps = PowerState::new(&net, &lib, 192, 3, 20.0);
+
+        net.set_rail(drv, Rail::Low);
+        ps.note(PowerDelta::Rail(drv));
+        let conv = net
+            .insert_converter(drv, &[s1], false, lib.converter())
+            .unwrap();
+        ps.note(PowerDelta::ConverterInserted { conv, driver: drv });
+        let stats = ps.refresh(&net, &lib);
+        // cone: the converter itself (new row) plus its one sink, whose
+        // recomputation is bit-identical — the cutoff stops there
+        assert_eq!(stats.cone_nodes, 2);
+        assert_exact(&ps, &net, &lib);
+
+        // removal re-routes the sink back and tombstones the converter
+        let sinks = net.fanouts(conv).to_vec();
+        net.remove_converter(conv).unwrap();
+        ps.note(PowerDelta::ConverterRemoved {
+            conv,
+            driver: drv,
+            sinks,
+        });
+        let stats = ps.refresh(&net, &lib);
+        assert_eq!(stats.cone_nodes, 1, "only the orphaned sink re-evaluates");
+        assert_exact(&ps, &net, &lib);
+    }
+
+    #[test]
+    fn multi_fanout_reconvergence_is_coalesced() {
+        // diamond: drv → {s1, s2} → join; a converter over both sinks
+        // queues each exactly once and the reconvergent join never runs
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let nand2 = lib.find("NAND2").unwrap();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let drv = net.add_gate("drv", nand2, &[a, b]);
+        let s1 = net.add_gate("s1", inv, &[drv]);
+        let s2 = net.add_gate("s2", inv, &[drv]);
+        let join = net.add_gate("join", nand2, &[s1, s2]);
+        net.add_output("y", join);
+        let mut ps = PowerState::new(&net, &lib, 320, 11, 20.0);
+
+        let conv = net
+            .insert_converter(drv, &[s1, s2], false, lib.converter())
+            .unwrap();
+        ps.note(PowerDelta::ConverterInserted { conv, driver: drv });
+        let stats = ps.refresh(&net, &lib);
+        // conv (changed: fresh row) + s1 + s2 (both bit-identical, so the
+        // reconvergent join is cut off and evaluated zero times)
+        assert_eq!(stats.cone_nodes, 3);
+        assert_exact(&ps, &net, &lib);
+    }
+
+    #[test]
+    fn edits_inside_an_already_dirty_cone_coalesce() {
+        // one batch: converter insertion dirtying a sink's cone, plus a
+        // size edit on that same sink — the refresh visits the sink once
+        // and recomputes each dirty load once
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let drv = net.add_gate("drv", inv, &[a]);
+        let s = net.add_gate("s", inv, &[drv]);
+        net.add_output("y", s);
+        let mut ps = PowerState::new(&net, &lib, 256, 5, 20.0);
+
+        let conv = net
+            .insert_converter(drv, &[s], false, lib.converter())
+            .unwrap();
+        ps.note(PowerDelta::ConverterInserted { conv, driver: drv });
+        net.set_size(s, SizeIx(2));
+        ps.note(PowerDelta::SetSize(s));
+        net.set_size(s, SizeIx(1));
+        ps.note(PowerDelta::SetSize(s));
+        let stats = ps.refresh(&net, &lib);
+        assert_eq!(stats.deltas, 3);
+        assert_eq!(stats.cone_nodes, 2, "conv + s, visited once each");
+        // dirty loads: drv, conv (splice) ∪ conv (s's fanin, deduped)
+        assert_eq!(stats.loads, 2);
+        assert_exact(&ps, &net, &lib);
+    }
+
+    #[test]
+    fn rollback_restores_and_truncates() {
+        let lib = lib();
+        let inv = lib.find("INV").unwrap();
+        let mut net = Network::new("p");
+        let a = net.add_input("a");
+        let g1 = net.add_gate("g1", inv, &[a]);
+        let g2 = net.add_gate("g2", inv, &[g1]);
+        net.add_output("y", g2);
+        net.enable_journal();
+        let mut ps = PowerState::new(&net, &lib, 128, 9, 20.0);
+        let before = ps.breakdown(&net, &lib);
+
+        let cp = net.checkpoint();
+        net.set_rail(g1, Rail::Low);
+        ps.note(PowerDelta::Rail(g1));
+        let conv = net
+            .insert_converter(g1, &[g2], false, lib.converter())
+            .unwrap();
+        ps.note(PowerDelta::ConverterInserted { conv, driver: g1 });
+        net.set_size(g2, SizeIx(2));
+        ps.note(PowerDelta::SetSize(g2));
+        ps.refresh(&net, &lib);
+        assert_exact(&ps, &net, &lib);
+
+        let touched = net.rollback_to(cp);
+        ps.note(PowerDelta::Rollback { touched });
+        ps.refresh(&net, &lib);
+        assert_exact(&ps, &net, &lib);
+        let after = ps.breakdown(&net, &lib);
+        assert_eq!(after.total_uw, before.total_uw, "unwind is exact");
+    }
+}

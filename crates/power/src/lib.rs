@@ -21,6 +21,25 @@
 //! sink — which is why the algorithms must insert level converters (or, for
 //! CVS/Gscale, keep the low-Vdd region a fanout-closed cluster).
 //!
+//! # Incremental power
+//!
+//! The optimization loops re-evaluate Eq. (1) after every candidate edit,
+//! and a full `simulate` per query dominates the flow's runtime at scale.
+//! [`PowerState`] is the journal-aware incremental engine: it caches the
+//! raw waveforms, the per-net activities and the per-node loads, absorbs a
+//! batch of [`PowerDelta`]s (mirroring the netlist edit journal) by
+//! re-simulating only the dirtied fanout cones, and then re-runs the exact
+//! [`estimate`] summation over the cached state. The contract is **bit
+//! compatibility**: after a [`PowerState::refresh`], [`PowerState::breakdown`]
+//! equals a from-scratch [`simulate`] + [`estimate`] field-for-field under
+//! `f64 ==` — not epsilon-close — because both paths share the same
+//! waveform evaluation, statistics counting, load model and summation loop.
+//! See the [`incremental`] module docs for the invalidation table and the
+//! differential property suite (`tests/incremental_diff.rs`) that enforces
+//! the guarantee across random networks × random edit/rollback streams.
+//!
+//! [`incremental`]: self::PowerState
+//!
 //! # Example
 //!
 //! ```
@@ -47,7 +66,9 @@
 
 pub mod dc_leakage;
 mod estimate;
+mod incremental;
 mod sim;
 
 pub use estimate::{estimate, PowerBreakdown};
+pub use incremental::{PowerDelta, PowerState, RefreshStats};
 pub use sim::{simulate, simulate_with_probs, Activities};

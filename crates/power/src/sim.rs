@@ -13,9 +13,9 @@ use rand::{Rng, SeedableRng};
 /// silently reading stale data).
 #[derive(Debug, Clone)]
 pub struct Activities {
-    vectors: usize,
-    p_one: Vec<f64>,
-    sw01: Vec<f64>,
+    pub(crate) vectors: usize,
+    pub(crate) p_one: Vec<f64>,
+    pub(crate) sw01: Vec<f64>,
 }
 
 impl Activities {
@@ -75,6 +75,98 @@ pub fn simulate_with_probs(
     seed: u64,
     probs: &[f64],
 ) -> Activities {
+    simulate_data(net, lib, vectors, seed, probs).acts
+}
+
+/// Full simulation result including the raw node-major waveform buffer —
+/// the seed state of the incremental engine ([`crate::PowerState`]).
+pub(crate) struct SimData {
+    /// Machine words per node waveform (`vectors.div_ceil(64)`).
+    pub words: usize,
+    /// Node-major waveforms: node `i` occupies `values[i*words..(i+1)*words]`.
+    pub values: Vec<u64>,
+    /// The per-net statistics derived from `values`.
+    pub acts: Activities,
+}
+
+/// Evaluates gate `id`'s waveform from its fanins' cached rows in `values`
+/// into `out` (which must hold `words` words). `pin_buf` is scratch.
+///
+/// Shared by the from-scratch simulator and the incremental cone resim so
+/// both produce bit-identical waveforms for identical fanin rows.
+pub(crate) fn eval_row_into(
+    net: &Network,
+    lib: &Library,
+    values: &[u64],
+    words: usize,
+    id: NodeId,
+    out: &mut [u64],
+    pin_buf: &mut Vec<u64>,
+) {
+    let node = net.node(id);
+    let func = lib.cell(node.cell()).function();
+    let fanins: Vec<usize> = node.fanins().iter().map(|f| f.index() * words).collect();
+    for (w, slot) in out.iter_mut().enumerate().take(words) {
+        pin_buf.clear();
+        for &base in &fanins {
+            pin_buf.push(values[base + w]);
+        }
+        *slot = func.eval_words(pin_buf);
+    }
+}
+
+/// `(p_one, sw01)` statistics of one node waveform row, masking the tail
+/// bits of the last partially used word.
+///
+/// Extracted from the simulator's stats loop verbatim so the incremental
+/// engine recomputes bit-identical values from cached rows.
+pub(crate) fn row_stats(row: &[u64], vectors: usize) -> (f64, f64) {
+    let words = row.len();
+    let tail_bits = vectors - (words - 1) * 64;
+    let tail_mask = if tail_bits == 64 {
+        !0u64
+    } else {
+        (1u64 << tail_bits) - 1
+    };
+    let mut ones = 0u64;
+    let mut transitions = 0u64;
+    let mut prev_last: Option<bool> = None;
+    for (w, &raw) in row.iter().enumerate() {
+        let mask = if w + 1 == words { tail_mask } else { !0u64 };
+        let v = raw & mask;
+        let used = if w + 1 == words { tail_bits } else { 64 };
+        ones += v.count_ones() as u64;
+        // within-word 0→1 transitions between vector b and b+1
+        let pairs = (!v & (v >> 1))
+            & if used == 64 {
+                !0 >> 1
+            } else {
+                (1u64 << (used - 1)) - 1
+            };
+        transitions += pairs.count_ones() as u64;
+        // across the word boundary
+        if let Some(last) = prev_last {
+            if !last && v & 1 == 1 {
+                transitions += 1;
+            }
+        }
+        prev_last = Some(v >> (used - 1) & 1 == 1);
+    }
+    (
+        ones as f64 / vectors as f64,
+        transitions as f64 / (vectors - 1) as f64,
+    )
+}
+
+/// The simulation core behind [`simulate_with_probs`], also returning the
+/// waveform buffer.
+pub(crate) fn simulate_data(
+    net: &Network,
+    lib: &Library,
+    vectors: usize,
+    seed: u64,
+    probs: &[f64],
+) -> SimData {
     assert!(vectors >= 2, "need at least two vectors, got {vectors}");
     assert_eq!(
         probs.len(),
@@ -113,66 +205,32 @@ pub fn simulate_with_probs(
 
     let order = net.topo_order();
     let mut pin_buf: Vec<u64> = Vec::with_capacity(8);
+    let mut scratch = vec![0u64; words];
     for &id in &order {
-        let node = net.node(id);
-        if !node.is_gate() {
+        if !net.node(id).is_gate() {
             continue;
         }
-        let func = lib.cell(node.cell()).function();
-        let fanins: Vec<usize> = node.fanins().iter().map(|f| f.index() * words).collect();
-        for w in 0..words {
-            pin_buf.clear();
-            for &base in &fanins {
-                pin_buf.push(values[base + w]);
-            }
-            values[id.index() * words + w] = func.eval_words(&pin_buf);
-        }
+        eval_row_into(net, lib, &values, words, id, &mut scratch, &mut pin_buf);
+        values[id.index() * words..][..words].copy_from_slice(&scratch);
     }
-
-    // Mask for the last partially used word.
-    let tail_bits = vectors - (words - 1) * 64;
-    let tail_mask = if tail_bits == 64 {
-        !0u64
-    } else {
-        (1u64 << tail_bits) - 1
-    };
 
     let mut p_one = vec![0.0; n];
     let mut sw01 = vec![0.0; n];
     for id in net.node_ids() {
         let base = id.index() * words;
-        let mut ones = 0u64;
-        let mut transitions = 0u64;
-        let mut prev_last: Option<bool> = None;
-        for w in 0..words {
-            let mask = if w + 1 == words { tail_mask } else { !0u64 };
-            let v = values[base + w] & mask;
-            let used = if w + 1 == words { tail_bits } else { 64 };
-            ones += v.count_ones() as u64;
-            // within-word 0→1 transitions between vector b and b+1
-            let pairs = (!v & (v >> 1))
-                & if used == 64 {
-                    !0 >> 1
-                } else {
-                    (1u64 << (used - 1)) - 1
-                };
-            transitions += pairs.count_ones() as u64;
-            // across the word boundary
-            if let Some(last) = prev_last {
-                if !last && v & 1 == 1 {
-                    transitions += 1;
-                }
-            }
-            prev_last = Some(v >> (used - 1) & 1 == 1);
-        }
-        p_one[id.index()] = ones as f64 / vectors as f64;
-        sw01[id.index()] = transitions as f64 / (vectors - 1) as f64;
+        let (p, s) = row_stats(&values[base..base + words], vectors);
+        p_one[id.index()] = p;
+        sw01[id.index()] = s;
     }
 
-    Activities {
-        vectors,
-        p_one,
-        sw01,
+    SimData {
+        words,
+        values,
+        acts: Activities {
+            vectors,
+            p_one,
+            sw01,
+        },
     }
 }
 

@@ -4,7 +4,7 @@
 //! Joins the scenarios of an old and a new `BENCH_sweep.json` by id and
 //! reports per-scenario power / improvement / runtime deltas (new − old),
 //! plus ids present on only one side. Both documents must carry a schema
-//! tag this crate can read (`dvs-sweep/v1` through `v4`) — anything
+//! tag this crate can read (`dvs-sweep/v1` through `v5`) — anything
 //! else is an error, which the CLI turns into a nonzero exit.
 //!
 //! When both sides are `v3`+ (or otherwise carry per-scenario `obs`
@@ -24,12 +24,14 @@ use crate::json::Json;
 /// counter objects (which the diff does not consume) and, like `v2`, the
 /// per-scenario `obs` rollups (whose absence just yields empty phase
 /// deltas); `v4` adds the `attr` attribution blocks, which the diff
-/// tolerates on either side without consuming.
-pub const READABLE_SCHEMAS: [&str; 4] = [
+/// tolerates on either side without consuming; `v5` adds the
+/// incremental-power counters inside `sta`, likewise not consumed.
+pub const READABLE_SCHEMAS: [&str; 5] = [
     "dvs-sweep/v1",
     "dvs-sweep/v2",
     "dvs-sweep/v3",
     "dvs-sweep/v4",
+    "dvs-sweep/v5",
 ];
 
 /// Per-algorithm deltas of one scenario, new − old.

@@ -23,11 +23,11 @@
 //! fields, making the whole document byte-identical across worker counts
 //! (that is what the CI smoke test asserts).
 //!
-//! ## `BENCH_sweep.json` schema (`dvs-sweep/v4`)
+//! ## `BENCH_sweep.json` schema (`dvs-sweep/v5`)
 //!
 //! ```json
 //! {
-//!   "schema": "dvs-sweep/v4",
+//!   "schema": "dvs-sweep/v5",
 //!   "timing": true,              // false when --deterministic zeroed the clocks
 //!   "scenario_count": 39,
 //!   "summary": {                 // means over all scenarios
@@ -55,6 +55,8 @@
 //!                            "converters_inserted": …, "converters_removed": …,
 //!                            "sta_events": …, "full_analyses": …,
 //!                            "hot_rebuilds": 0, "rebuilds_avoided": …,
+//!                            "full_power": 0, "power_resims": …,
+//!                            "full_power_avoided": …,
 //!                            "checkpoints": …, "rollbacks": … } },
 //!       "dscale": { …, "converters": N, … },   // same shape as "cvs"
 //!       "gscale": { …, "resized": N, … },      // same shape as "cvs"

@@ -16,8 +16,10 @@ use crate::pool;
 /// per-scenario `obs` rollup (span self-times, counters, gauges and
 /// log₂-bucket histograms from the `dvs-obs` registry); `v4` added the
 /// per-scenario `attr` block (per-domain site attribution: totals, top-K
-/// sites and concentration — see the crate docs for the field table).
-pub const SCHEMA: &str = "dvs-sweep/v4";
+/// sites and concentration — see the crate docs for the field table);
+/// `v5` added the incremental-power fields to each `sta` object
+/// (`full_power`, `power_resims`, `full_power_avoided`).
+pub const SCHEMA: &str = "dvs-sweep/v5";
 
 /// Flat per-algorithm numbers of one scenario (one `Table 1` + `Table 2`
 /// cell group).
@@ -193,6 +195,9 @@ fn counters_json(c: &FlowCounters) -> Json {
         ("full_analyses", Json::UInt(c.full_analyses)),
         ("hot_rebuilds", Json::UInt(c.hot_rebuilds)),
         ("rebuilds_avoided", Json::UInt(c.rebuilds_avoided)),
+        ("full_power", Json::UInt(c.full_power)),
+        ("power_resims", Json::UInt(c.power_resims)),
+        ("full_power_avoided", Json::UInt(c.full_power_avoided)),
         ("checkpoints", Json::UInt(c.checkpoints)),
         ("rollbacks", Json::UInt(c.rollbacks)),
     ])
@@ -319,7 +324,7 @@ fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
 }
 
 /// Serializes sweep results as the `BENCH_sweep.json` document (schema
-/// `dvs-sweep/v4`; see the crate docs for the full field reference).
+/// `dvs-sweep/v5`; see the crate docs for the full field reference).
 ///
 /// With `timing == false` every wall/CPU field renders as `0`, making the
 /// document a pure function of the grid — byte-identical across runs and
@@ -490,9 +495,12 @@ mod tests {
             doc, again,
             "timing-stripped document must not depend on jobs"
         );
-        assert!(doc.contains("\"schema\": \"dvs-sweep/v4\""));
+        assert!(doc.contains("\"schema\": \"dvs-sweep/v5\""));
         assert!(doc.contains("\"id\": \"x2.x1/paper/s0\""));
         assert!(doc.contains("\"hot_rebuilds\": 0"));
+        assert!(doc.contains("\"full_power\": 0"));
+        assert!(doc.contains("\"power_resims\":"));
+        assert!(doc.contains("\"full_power_avoided\":"));
         assert!(doc.contains("\"sta\": {"));
         assert!(doc.contains("\"obs\": {"));
         assert!(doc.contains("\"attr\": {"));
