@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the intra-circuit parallelism work: Dinic vs
+//! the retained Edmonds–Karp oracle on separator-shaped graphs, and
+//! Dscale's per-round candidate scoring at 1 vs 4 intra-circuit threads.
+//!
+//! Both comparisons are value-identical by construction (the differential
+//! proptests pin that), so these benches measure pure wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_bench::{paper_config, paper_library, prepare_circuit, separator_workload};
+use dvs_core::{score_candidates, FlowSession};
+use dvs_power::simulate;
+use dvs_synth::mcnc::{self, Profile};
+use dvs_synth::prepare;
+
+fn scaled(profile: &Profile, scale: usize) -> dvs_synth::Prepared {
+    let lib = paper_library();
+    if scale == 1 {
+        prepare_circuit(profile, &lib)
+    } else {
+        let net = mcnc::generate_scaled(profile, &lib, scale, 0);
+        prepare(net, &lib, 1.2)
+    }
+}
+
+fn bench_max_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_flow");
+    for name in ["pcle", "b9", "term1", "x2"] {
+        let prepared = scaled(mcnc::find(name).unwrap(), 10);
+        let workload = separator_workload(&prepared.network);
+        let label = format!("{name}@10(n={})", workload.n);
+        group.bench_with_input(BenchmarkId::new("dinic", &label), &workload, |b, w| {
+            b.iter(|| {
+                let (mut g, s, t) = w.flow_graph();
+                g.max_flow_counted(s, t)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ek", &label), &workload, |b, w| {
+            b.iter(|| {
+                let (mut g, s, t) = w.flow_graph();
+                g.max_flow_counted_ek(s, t)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_scoring(c: &mut Criterion) {
+    let lib = paper_library();
+    let cfg = {
+        let mut cfg = paper_config();
+        cfg.sim_vectors = 1024;
+        cfg
+    };
+    let mut group = c.benchmark_group("score_candidates");
+    group.sample_size(10);
+    for (name, scale) in [("b9", 10), ("b9", 100)] {
+        let prepared = scaled(mcnc::find(name).unwrap(), scale);
+        let acts = simulate(&prepared.network, &lib, cfg.sim_vectors, cfg.sim_seed);
+        let sess = FlowSession::new(prepared.network.clone(), &lib, prepared.tspec_ns);
+        for jobs in [1usize, 4] {
+            group.bench_function(
+                BenchmarkId::new(format!("{name}@{scale}"), format!("jobs{jobs}")),
+                |b| b.iter(|| score_candidates(&sess, &acts, &cfg, jobs)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_max_flow, bench_candidate_scoring
+);
+criterion_main!(benches);

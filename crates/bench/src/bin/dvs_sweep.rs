@@ -41,6 +41,12 @@ OPTIONS:
                                                        [default: 0]
     --jobs N          worker threads (or DVS_JOBS env var)
                                    [default: available parallelism, min 1]
+    --circuit-jobs N  intra-circuit threads per scenario (or
+                      DVS_CIRCUIT_JOBS env var): parallel Dscale candidate
+                      scoring and wavefront power simulation. Results are
+                      value-identical for every N. Auto-shrunk so that
+                      jobs x circuit-jobs never exceeds the machine's
+                      cores                            [default: 1]
     --vectors N       override simulation vectors per power estimate for
                       every variant (cheapens huge sweeps)
     --out PATH        output file                      [default: BENCH_sweep.json]
@@ -83,6 +89,7 @@ the classic per-iteration trace lines to stderr.
 struct Args {
     grid: Grid,
     jobs: usize,
+    circuit_jobs: usize,
     out: PathBuf,
     deterministic: bool,
     compare: Option<PathBuf>,
@@ -127,6 +134,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut variants = vec![ConfigVariant::paper()];
     let mut seeds = vec![0u64];
     let mut jobs = default_jobs();
+    let mut circuit_jobs = dvs_pool::circuit_jobs();
     let mut vectors: Option<usize> = None;
     let mut out = PathBuf::from("BENCH_sweep.json");
     let mut deterministic = false;
@@ -180,6 +188,13 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .ok()
                     .filter(|&n| n > 0)
                     .ok_or("`--jobs` needs a positive integer")?;
+            }
+            "--circuit-jobs" => {
+                circuit_jobs = value(&mut i, "--circuit-jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("`--circuit-jobs` needs a positive integer")?;
             }
             "--vectors" => {
                 vectors = Some(
@@ -250,6 +265,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             seeds,
         },
         jobs,
+        circuit_jobs,
         out,
         deterministic,
         compare,
@@ -298,14 +314,25 @@ fn main() -> ExitCode {
         }
     };
     let total = args.grid.len();
+    // Oversubscription guard: sweep workers x intra-circuit threads must
+    // not exceed the machine (see dvs_pool's policy note).
+    let circuit_jobs = dvs_pool::budget_circuit_jobs(args.jobs, args.circuit_jobs);
+    if circuit_jobs < args.circuit_jobs {
+        eprintln!(
+            "dvs-sweep: shrinking --circuit-jobs {} -> {} ({} sweep worker(s) on this machine)",
+            args.circuit_jobs, circuit_jobs, args.jobs,
+        );
+    }
+    dvs_pool::set_circuit_jobs(circuit_jobs);
     eprintln!(
-        "dvs-sweep: {} scenario(s) ({} profile(s) x {} scale(s) x {} variant(s) x {} seed(s)) on {} worker(s)",
+        "dvs-sweep: {} scenario(s) ({} profile(s) x {} scale(s) x {} variant(s) x {} seed(s)) on {} worker(s) x {} intra-circuit thread(s)",
         total,
         args.grid.profiles.len(),
         args.grid.scales.len(),
         args.grid.variants.len(),
         args.grid.seeds.len(),
         args.jobs,
+        circuit_jobs,
     );
 
     // One recorder observes the whole sweep: it feeds the per-scenario

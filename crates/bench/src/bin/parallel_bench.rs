@@ -1,0 +1,217 @@
+//! Regenerates `BENCH_parallel.json`: the committed evidence for the
+//! intra-circuit parallelism work.
+//!
+//! Two measurements:
+//!
+//! 1. **Dinic vs Edmonds–Karp on the production separator problems.**
+//!    For every profile at scale 10, a [`dvs_core::gscale_session`] run
+//!    with [`FlowSession::capture_separators`] enabled records the exact
+//!    [`dvs_flow::SeparatorProblem`] of each Gscale iteration — the
+//!    TCB-fed critical-path networks the flow actually solves, not a
+//!    synthetic stand-in. Both algorithms then run over every captured
+//!    problem of a circuit (cloned graphs, flows cross-checked equal),
+//!    and the per-circuit best-of-N *totals* are committed. The CI gate
+//!    asserts Dinic's total beats EK's strictly on every circuit whose
+//!    workload exceeds the noise floor (EK total ≥ 100 µs), within a
+//!    noise band below it, and strictly on the 39-circuit aggregate.
+//! 2. **`run_circuit` at scale 100** with 4 intra-circuit threads vs 1:
+//!    end-to-end wall time on a circuit large enough for the parallel
+//!    hot loops to dominate, value-identity asserted on the reported
+//!    power numbers.
+//!
+//! The artifact records `cores` (the generating machine's available
+//! parallelism): on a single-core box the 4-thread lane measures pure
+//! overhead rather than speedup, and the CI gate conditions its
+//! wall-time assertion on that field.
+//!
+//! Usage: `parallel_bench [--out PATH] [--iters N] [--circuit NAME]
+//! [--circuit-scale N] [--skip-separators] [--skip-run-circuit]`
+//! (defaults: `BENCH_parallel.json`, 5, `alu2`, 100, both sections on).
+//! The skip flags let CI run one section live without paying for the
+//! other.
+
+use std::time::Instant;
+
+use dvs_bench::{paper_config, paper_library};
+use dvs_core::{gscale_session, run_circuit, FlowConfig, FlowSession};
+use dvs_flow::SeparatorProblem;
+use dvs_sweep::json::Json;
+use dvs_synth::mcnc::{self, PROFILES};
+use dvs_synth::prepare;
+
+/// Captures the separator problems one Gscale campaign solves on this
+/// circuit at the given scale.
+fn capture_problems(name: &str, scale: usize, cfg: &FlowConfig) -> Vec<SeparatorProblem> {
+    let lib = paper_library();
+    let p = mcnc::find(name).expect("profile exists");
+    let net = mcnc::generate_scaled(p, &lib, scale, 0);
+    let prepared = prepare(net, &lib, 1.2);
+    let mut sess = FlowSession::new(prepared.network, &lib, prepared.tspec_ns);
+    sess.capture_separators(true);
+    gscale_session(&mut sess, cfg);
+    sess.take_captured_separators()
+}
+
+/// Times both algorithms over every problem of one circuit and returns
+/// `(dinic_total_ns, ek_total_ns, per-problem flow pairs)`.
+///
+/// Noise handling: per *problem*, the two algorithms run interleaved
+/// (d, e, d, e, …) so scheduler drift hits both equally, each repeated
+/// `iters` times — more when one repetition is so short that a single
+/// preemption would decide the comparison — and the per-problem *minima*
+/// are summed. Min-of-small-pieces rejects outliers far better than
+/// min-of-totals on a shared box.
+fn time_problems(problems: &[SeparatorProblem], iters: usize) -> (u64, u64, Vec<(u64, u64)>) {
+    const MIN_SAMPLED_NS: u64 = 64_000;
+    let mut dinic_total = 0u64;
+    let mut ek_total = 0u64;
+    let mut flows = Vec::new();
+    for w in problems {
+        let time_dinic = || {
+            let (mut g, s, t) = w.flow_graph();
+            let t0 = Instant::now();
+            let flow = g.max_flow_counted(s, t).0;
+            (t0.elapsed().as_nanos() as u64, flow)
+        };
+        let time_ek = || {
+            let (mut g, s, t) = w.flow_graph();
+            let t0 = Instant::now();
+            let flow = g.max_flow_counted_ek(s, t).0;
+            (t0.elapsed().as_nanos() as u64, flow)
+        };
+        let (mut best_d, flow_d) = time_dinic();
+        let (mut best_e, flow_e) = time_ek();
+        let reps = (MIN_SAMPLED_NS / best_d.max(best_e).max(1))
+            .clamp(iters as u64, 64)
+            .max(iters as u64);
+        for _ in 0..reps {
+            best_d = best_d.min(time_dinic().0);
+            best_e = best_e.min(time_ek().0);
+        }
+        dinic_total += best_d;
+        ek_total += best_e;
+        flows.push((flow_d, flow_e));
+    }
+    (dinic_total, ek_total, flows)
+}
+
+fn main() {
+    let mut out = "BENCH_parallel.json".to_string();
+    let mut iters = 5usize;
+    let mut circuit = "alu2".to_string();
+    let mut circuit_scale = 100usize;
+    let mut skip_separators = false;
+    let mut skip_run_circuit = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a positive integer")
+            }
+            "--circuit" => circuit = args.next().expect("--circuit needs a profile name"),
+            "--circuit-scale" => {
+                circuit_scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--circuit-scale needs a positive integer")
+            }
+            "--skip-separators" => skip_separators = true,
+            "--skip-run-circuit" => skip_run_circuit = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let lib = paper_library();
+    let cfg = paper_config();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut separators = Vec::new();
+    let profiles: &[dvs_synth::mcnc::Profile] = if skip_separators { &[] } else { PROFILES };
+    if !skip_separators {
+        eprintln!("captured Gscale separator problems: all profiles at scale 10, best of {iters}");
+    }
+    for p in profiles.iter() {
+        let problems = capture_problems(p.name, 10, &cfg);
+        let (dinic_ns, ek_ns, flows) = time_problems(&problems, iters);
+        for (fd, fe) in &flows {
+            assert_eq!(
+                fd, fe,
+                "{}: Dinic and EK disagree on a captured problem",
+                p.name
+            );
+        }
+        let flow_sum: u64 = flows.iter().map(|&(fd, _)| fd).sum();
+        eprintln!(
+            "  {:<9} problems={:<4} flow_sum={:<6} dinic {:>10} ns  ek {:>10} ns  ({:.2}x)",
+            p.name,
+            problems.len(),
+            flow_sum,
+            dinic_ns,
+            ek_ns,
+            ek_ns as f64 / dinic_ns.max(1) as f64,
+        );
+        separators.push(Json::obj(vec![
+            ("circuit", Json::Str(p.name.to_string())),
+            ("problems", Json::UInt(problems.len() as u64)),
+            ("flow_sum", Json::UInt(flow_sum)),
+            ("dinic_ns", Json::UInt(dinic_ns)),
+            ("ek_ns", Json::UInt(ek_ns)),
+        ]));
+    }
+
+    let mut timed = Vec::new();
+    if !skip_run_circuit {
+        eprintln!("run_circuit: {circuit} at scale {circuit_scale}, --circuit-jobs 4 vs 1");
+        let profile = mcnc::find(&circuit).expect("--circuit must name a paper profile");
+        let net = mcnc::generate_scaled(profile, &lib, circuit_scale, 0);
+        let prepared = prepare(net, &lib, 1.2);
+        let mut powers: Vec<(f64, f64, f64)> = Vec::new();
+        for jobs in [1usize, 4] {
+            let cfg = FlowConfig {
+                circuit_jobs: jobs,
+                ..paper_config()
+            };
+            let t0 = Instant::now();
+            let run = run_circuit(profile.name, &prepared, &lib, &cfg);
+            let wall = t0.elapsed().as_nanos() as u64;
+            eprintln!(
+                "  circuit-jobs {jobs}: {:.2} s (gscale {:.2} %)",
+                wall as f64 / 1e9,
+                run.gscale.improvement_pct
+            );
+            powers.push((run.cvs.power_uw, run.dscale.power_uw, run.gscale.power_uw));
+            timed.push(Json::obj(vec![
+                ("circuit_jobs", Json::UInt(jobs as u64)),
+                ("wall_ns", Json::UInt(wall)),
+                ("gscale_pct", Json::Num(run.gscale.improvement_pct)),
+            ]));
+        }
+        // the determinism contract, spot-checked end to end: identical
+        // power at every width, bit for bit
+        assert_eq!(powers[0], powers[1], "results diverged across circuit-jobs");
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("dvs-bench-parallel/v2".to_string())),
+        ("iters", Json::UInt(iters as u64)),
+        ("cores", Json::UInt(cores as u64)),
+        ("separator_scale", Json::UInt(10)),
+        ("separators", Json::Arr(separators)),
+        (
+            "run_circuit",
+            Json::obj(vec![
+                ("circuit", Json::Str(circuit.clone())),
+                ("scale", Json::UInt(circuit_scale as u64)),
+                ("runs", Json::Arr(timed)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.render()).expect("write benchmark artifact");
+    eprintln!("wrote {out}");
+}

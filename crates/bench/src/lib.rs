@@ -76,6 +76,63 @@ pub fn run_all_parallel(lib: &Library, cfg: &FlowConfig, jobs: usize) -> Vec<Cir
 /// averaging convention, re-exported for the table binaries.
 pub use dvs_sweep::mean;
 
+/// Builds a whole-circuit separator stress workload Gscale-style: nodes
+/// are the live gates in id order, edges the gate→gate fanout arcs,
+/// weights a small deterministic per-gate cost, sources the gates fed
+/// only by primary inputs, sinks the gates driving only primary outputs.
+/// The resulting [`SeparatorProblem`] has the node-split flow-graph shape
+/// `min_vertex_separator` solves, but spans the *entire* circuit — a
+/// deliberately heavier graph than the TCB-fed critical-path networks
+/// production Gscale builds. The criterion `max_flow` group uses it as a
+/// stress microbench; `parallel_bench` times the real thing via
+/// [`dvs_core::FlowSession::capture_separators`].
+pub fn separator_workload(net: &dvs_netlist::Network) -> dvs_flow::SeparatorProblem {
+    let gates: Vec<dvs_netlist::NodeId> =
+        net.gate_ids().filter(|&g| !net.node(g).is_dead()).collect();
+    let mut index = vec![usize::MAX; net.node_count()];
+    for (ix, &g) in gates.iter().enumerate() {
+        index[g.index()] = ix;
+    }
+    let mut edges = Vec::new();
+    for (ix, &g) in gates.iter().enumerate() {
+        for &s in net.fanouts(g) {
+            let six = index[s.index()];
+            if six != usize::MAX {
+                edges.push((ix, six));
+            }
+        }
+    }
+    let weights: Vec<u64> = gates
+        .iter()
+        .map(|&g| 1 + net.fanouts(g).len() as u64)
+        .collect();
+    let has_gate_fanin: Vec<bool> = gates
+        .iter()
+        .map(|&g| {
+            net.fanins(g)
+                .iter()
+                .any(|&f| index[f.index()] != usize::MAX)
+        })
+        .collect();
+    let has_gate_fanout: Vec<bool> = gates
+        .iter()
+        .map(|&g| {
+            net.fanouts(g)
+                .iter()
+                .any(|&s| index[s.index()] != usize::MAX)
+        })
+        .collect();
+    let sources: Vec<usize> = (0..gates.len()).filter(|&i| !has_gate_fanin[i]).collect();
+    let sinks: Vec<usize> = (0..gates.len()).filter(|&i| !has_gate_fanout[i]).collect();
+    dvs_flow::SeparatorProblem {
+        n: gates.len(),
+        edges,
+        weights,
+        sources,
+        sinks,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,6 +40,14 @@ pub struct FlowConfig {
     /// identical either way — the differential suite proves the
     /// incremental path bit-compatible — only the cost moves.
     pub incremental_power: bool,
+    /// Intra-circuit worker threads for the parallel paths (Dscale
+    /// candidate scoring, wavefront power simulation). `0` (default)
+    /// defers to the process-wide [`dvs_pool::circuit_jobs`] width —
+    /// which entry points set from `--circuit-jobs`/`DVS_CIRCUIT_JOBS`
+    /// after the [`dvs_pool::budget_circuit_jobs`] oversubscription
+    /// guard. Results are value-identical for every width; only the
+    /// wall-clock moves.
+    pub circuit_jobs: usize,
 }
 
 impl Default for FlowConfig {
@@ -54,6 +62,7 @@ impl Default for FlowConfig {
             dscale_net_weighting: true,
             dscale_greedy_selection: false,
             incremental_power: true,
+            circuit_jobs: 0,
         }
     }
 }
@@ -73,6 +82,18 @@ impl FlowConfig {
             "area budget cannot be negative"
         );
         assert!(self.guard_ns >= 0.0, "guard band cannot be negative");
+    }
+
+    /// The intra-circuit thread width this config resolves to: the
+    /// explicit [`FlowConfig::circuit_jobs`] when set, otherwise the
+    /// process-wide [`dvs_pool::circuit_jobs`] value.
+    #[must_use]
+    pub fn resolved_circuit_jobs(&self) -> usize {
+        if self.circuit_jobs > 0 {
+            self.circuit_jobs
+        } else {
+            dvs_pool::circuit_jobs()
+        }
     }
 }
 

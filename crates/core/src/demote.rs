@@ -5,7 +5,7 @@ use dvs_netlist::{Network, NodeId, Rail};
 use dvs_sta::Timing;
 
 /// The effect of demoting one gate, as computed by [`DemotionPlan::build`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DemotionPlan {
     /// The gate to demote.
     pub gate: NodeId,

@@ -5,6 +5,7 @@
 use dvs_celllib::Library;
 use dvs_flow::{max_weight_antichain, quantize};
 use dvs_netlist::{Network, NodeId, Rail, SubsetReach};
+use dvs_power::Activities;
 
 use crate::demote::{demotion_fits, DemotionPlan};
 use crate::session::{FlowCounters, FlowSession};
@@ -82,6 +83,55 @@ pub fn dscale(net: &mut Network, lib: &Library, tspec_ns: f64, cfg: &FlowConfig)
     out
 }
 
+/// Below this many gates a scoring round runs sequentially: each
+/// [`dvs_pool::run_indexed`] call spawns scoped threads, and on circuits
+/// this small the spawn cost exceeds the whole scan.
+const PAR_MIN_GATES: usize = 128;
+
+/// One round of `Dscale` candidate scoring: the paper's `get_SlkSet` ∩
+/// `check_timing` filter plus the Eq. (1) power weighting, fanned out
+/// over `jobs` intra-circuit worker threads (sequential below
+/// [`PAR_MIN_GATES`] gates — the pool call and its deterministic metrics
+/// still happen, only the width drops).
+///
+/// Per-gate evaluation ([`FlowSession::plan_demotion`] +
+/// [`demotion_fits`] + the activity-weighted gain) is read-only against
+/// `(network, timing, activities)`, and the pool re-merges results in
+/// gate-id order, so the returned vector is **bit-identical** to a
+/// sequential scan for every `jobs` value — the determinism contract the
+/// `--circuit-jobs` byte-compare in CI rests on.
+pub fn score_candidates(
+    sess: &FlowSession<'_>,
+    acts: &Activities,
+    cfg: &FlowConfig,
+    jobs: usize,
+) -> Vec<(NodeId, DemotionPlan, f64)> {
+    let gates: Vec<NodeId> = sess.network().gate_ids().collect();
+    let jobs = dvs_pool::effective_jobs(jobs, gates.len(), PAR_MIN_GATES);
+    dvs_pool::run_indexed(&gates, jobs, |_, &g| {
+        if sess.timing().slack_ns(g) <= cfg.guard_ns {
+            return None;
+        }
+        let plan = sess.plan_demotion(g)?;
+        if !demotion_fits(sess.network(), sess.timing(), &plan, cfg.guard_ns) {
+            return None;
+        }
+        let per_activity = if cfg.dscale_net_weighting {
+            plan.net_gain_per_activity
+        } else {
+            plan.gross_gain_per_activity
+        };
+        let gain_uw = acts.switching(g) * cfg.fclk_mhz * per_activity;
+        if gain_uw <= 0.0 {
+            return None;
+        }
+        Some((g, plan, gain_uw))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// [`dscale`] running inside an existing [`FlowSession`]: the session's
 /// timing is kept incrementally consistent through every demotion and
 /// converter splice — no hot-path rebuild, no network clone. The returned
@@ -89,6 +139,7 @@ pub fn dscale(net: &mut Network, lib: &Library, tspec_ns: f64, cfg: &FlowConfig)
 pub fn dscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> DscaleOutcome {
     cfg.assert_valid();
     let _span = dvs_obs::span("dscale");
+    let jobs = cfg.resolved_circuit_jobs();
     if cfg.incremental_power {
         // one-time cache construction is session setup, not phase cost —
         // billed before the entry snapshot, mirroring how FlowSession::new
@@ -109,30 +160,12 @@ pub fn dscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> DscaleOut
         // full re-simulation driver — results are identical either way)
         let acts = sess.power_activities(cfg);
 
-        // SlkSet ∩ check_timing → candidates with positive net gain
-        let mut cand: Vec<(NodeId, DemotionPlan, f64)> = Vec::new();
-        for g in sess.network().gate_ids() {
-            if sess.timing().slack_ns(g) <= cfg.guard_ns {
-                continue;
-            }
-            let plan = match sess.plan_demotion(g) {
-                Some(p) => p,
-                None => continue,
-            };
-            if !demotion_fits(sess.network(), sess.timing(), &plan, cfg.guard_ns) {
-                continue;
-            }
-            let per_activity = if cfg.dscale_net_weighting {
-                plan.net_gain_per_activity
-            } else {
-                plan.gross_gain_per_activity
-            };
-            let gain_uw = acts.switching(g) * cfg.fclk_mhz * per_activity;
-            if gain_uw <= 0.0 {
-                continue;
-            }
-            cand.push((g, plan, gain_uw));
-        }
+        // SlkSet ∩ check_timing → candidates with positive net gain,
+        // scored on the intra-circuit worker pool; the gate-id-order
+        // merge makes the vector bit-identical to a sequential scan
+        let scanned = sess.network().gate_ids().count() as u64;
+        let cand = score_candidates(sess, &acts, cfg, jobs);
+        sess.note_parallel(scanned, 1);
         if cand.is_empty() {
             break;
         }

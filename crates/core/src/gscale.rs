@@ -45,7 +45,7 @@ const MAX_PUSHES: usize = 5_000;
 ///    `Δarea / Δdelay` of its next drive size, where `Δdelay` nets off the
 ///    extra input capacitance presented to its fanins (gates at maximum
 ///    size, or whose up-sizing does not help, get infinite weight);
-/// 3. `min_weight_separator` — an Edmonds–Karp min cut picks the cheapest
+/// 3. `min_weight_separator` — a Dinic min cut picks the cheapest
 ///    gate set whose resizing speeds *every* PI→TCB critical path;
 /// 4. resize (area budget permitting, with an exact timing re-check),
 ///    `update_timing`, and re-run CVS to push the boundary.
@@ -109,6 +109,13 @@ pub fn gscale_session(sess: &mut FlowSession<'_>, cfg: &FlowConfig) -> GscaleOut
         iterations += 1;
         let _iter_span = dvs_obs::span("gscale.iter");
         let cpn = critical_path_network(sess.network(), sess.timing(), &tcb, cfg.guard_ns);
+        if sess.capture_enabled() {
+            if let Some(p) =
+                separator_problem(sess.network(), lib, sess.timing(), &cpn, &tcb, &banned)
+            {
+                sess.push_captured_separator(p);
+            }
+        }
         let cut = match separator_of(sess.network(), lib, sess.timing(), &cpn, &tcb, &banned) {
             Some((c, paths)) if !c.is_empty() => {
                 // charge the max-flow work to the separator it bought,
@@ -394,16 +401,19 @@ fn critical_path_network(
         .collect()
 }
 
-/// Builds the weighted separator problem over the CPN and solves it.
-/// Returns `None` when no finite-weight separator exists.
-fn separator_of(
+/// Builds the weighted separator problem over the CPN. Returns `None`
+/// when the CPN or either terminal set is empty. Split from
+/// [`separator_of`] so [`FlowSession::capture_separators`] can hand the
+/// exact per-iteration problems to benchmarks without re-deriving the
+/// construction.
+pub(crate) fn separator_problem(
     net: &Network,
     lib: &Library,
     timing: &Timing,
     cpn: &[NodeId],
     tcb: &[NodeId],
     banned: &[bool],
-) -> Option<(Vec<NodeId>, u64)> {
+) -> Option<SeparatorProblem> {
     if cpn.is_empty() {
         return None;
     }
@@ -450,13 +460,27 @@ fn separator_of(
     if sources.is_empty() || sinks.is_empty() {
         return None;
     }
-    let result = min_vertex_separator(&SeparatorProblem {
+    Some(SeparatorProblem {
         n: cpn.len(),
         edges,
         weights,
         sources,
         sinks,
-    })?;
+    })
+}
+
+/// Builds the weighted separator problem over the CPN and solves it.
+/// Returns `None` when no finite-weight separator exists.
+fn separator_of(
+    net: &Network,
+    lib: &Library,
+    timing: &Timing,
+    cpn: &[NodeId],
+    tcb: &[NodeId],
+    banned: &[bool],
+) -> Option<(Vec<NodeId>, u64)> {
+    let problem = separator_problem(net, lib, timing, cpn, tcb, banned)?;
+    let result = min_vertex_separator(&problem)?;
     Some((
         result.nodes.into_iter().map(|ix| cpn[ix]).collect(),
         result.paths,

@@ -20,7 +20,7 @@
 //!   demotions never share a path.
 //! * [`gscale`] — contribution #2: *creates* slack by up-sizing a
 //!   **minimum-weight vertex separator** of the critical-path network
-//!   feeding the TCB (Edmonds–Karp max-flow min-cut), pushing the boundary
+//!   feeding the TCB (Dinic max-flow min-cut), pushing the boundary
 //!   toward the primary inputs under an area budget, re-running CVS after
 //!   every push.
 //!
@@ -71,7 +71,7 @@ pub use config::FlowConfig;
 // working unchanged.
 pub use cvs::{cvs, time_critical_boundary, CvsOutcome};
 pub use demote::{demotion_fits, DemotionPlan};
-pub use dscale::{dscale, dscale_session, DscaleOutcome};
+pub use dscale::{dscale, dscale_session, score_candidates, DscaleOutcome};
 pub use dvs_obs::{thread_cpu_raw_ns, thread_cpu_time, CpuLap, CpuTimer};
 pub use gscale::{gscale, gscale_session, GscaleOutcome};
 pub use report::{measure_power, run_circuit, AlgoReport, CircuitRun};

@@ -91,6 +91,16 @@ pub struct FlowCounters {
     pub checkpoints: u64,
     /// Rollbacks performed.
     pub rollbacks: u64,
+    /// Items fanned out to the intra-circuit worker pool: gates scanned
+    /// by parallel Dscale candidate scoring plus gate rows re-evaluated
+    /// by wavefront power refreshes. A pure function of the network and
+    /// the edit stream — independent of `--circuit-jobs` — so the CI
+    /// byte-compare holds across thread counts.
+    pub par_tasks: u64,
+    /// Parallel batches dispatched (one per scoring round, one per
+    /// non-empty refresh wavefront level). Equally thread-count
+    /// independent.
+    pub par_batches: u64,
 }
 
 impl FlowCounters {
@@ -120,6 +130,8 @@ impl FlowCounters {
                 .saturating_sub(earlier.full_power_avoided),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             rollbacks: self.rollbacks.saturating_sub(earlier.rollbacks),
+            par_tasks: self.par_tasks.saturating_sub(earlier.par_tasks),
+            par_batches: self.par_batches.saturating_sub(earlier.par_batches),
         }
     }
 }
@@ -248,6 +260,11 @@ pub struct FlowSession<'l> {
     /// [`dvs_power::PowerDelta`] so a later refresh re-simulates only the
     /// dirtied fanout cones.
     pub(crate) power: Option<PowerState>,
+    /// When `Some`, every separator problem Gscale builds is cloned here
+    /// before solving. Off (`None`) by default — enabled by
+    /// [`FlowSession::capture_separators`] so benchmarks can time max-flow
+    /// algorithms on the exact production inputs.
+    pub(crate) captured_separators: Option<Vec<dvs_flow::SeparatorProblem>>,
 }
 
 impl std::fmt::Debug for FlowSession<'_> {
@@ -285,6 +302,40 @@ impl<'l> FlowSession<'l> {
                 ..FlowCounters::default()
             },
             power: None,
+            captured_separators: None,
+        }
+    }
+
+    /// Turns separator-problem capture on or off. While on, each Gscale
+    /// iteration clones the [`dvs_flow::SeparatorProblem`] it is about to
+    /// solve into a session-held list, retrievable with
+    /// [`FlowSession::take_captured_separators`]. Capture changes no
+    /// results — it only observes — but the clones cost memory, so it is
+    /// meant for benchmarking, not production runs.
+    pub fn capture_separators(&mut self, on: bool) {
+        if on {
+            self.captured_separators.get_or_insert_with(Vec::new);
+        } else {
+            self.captured_separators = None;
+        }
+    }
+
+    /// Drains and returns the separator problems captured so far (empty
+    /// when capture was never enabled). Capture stays enabled if it was.
+    pub fn take_captured_separators(&mut self) -> Vec<dvs_flow::SeparatorProblem> {
+        match self.captured_separators.as_mut() {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    pub(crate) fn capture_enabled(&self) -> bool {
+        self.captured_separators.is_some()
+    }
+
+    pub(crate) fn push_captured_separator(&mut self, p: dvs_flow::SeparatorProblem) {
+        if let Some(v) = self.captured_separators.as_mut() {
+            v.push(p);
         }
     }
 
@@ -483,29 +534,43 @@ impl<'l> FlowSession<'l> {
     /// one-time cache construction is billed to session setup, mirroring
     /// how [`FlowSession::new`] pays the first timing analysis.
     pub fn ensure_power(&mut self, cfg: &FlowConfig) {
+        let jobs = cfg.resolved_circuit_jobs();
         if !self.power_matches(cfg) {
-            self.power = Some(PowerState::new(
+            self.power = Some(PowerState::with_jobs(
                 &self.net,
                 self.lib,
                 cfg.sim_vectors,
                 cfg.sim_seed,
                 cfg.fclk_mhz,
+                jobs,
             ));
             self.counters.full_power += 1;
             dvs_obs::counter_add("session.full_power", 1);
             return;
         }
         let p = self.power.as_mut().expect("matched above");
+        p.set_jobs(jobs);
         if p.has_pending() {
             let stats = p.refresh(&self.net, self.lib);
             self.counters.power_resims += 1;
             dvs_obs::counter_add("session.power_resims", 1);
+            self.note_parallel(stats.cone_nodes as u64, stats.levels as u64);
             dvs_obs::attr_add(
                 "power.cone_nodes",
                 || self.net.name().to_string(),
                 stats.cone_nodes as u64,
             );
         }
+    }
+
+    /// Accounts one intra-circuit parallel fan-out: `tasks` items over
+    /// `batches` pool dispatches. Both are deterministic functions of the
+    /// network, never of the thread count.
+    pub(crate) fn note_parallel(&mut self, tasks: u64, batches: u64) {
+        self.counters.par_tasks += tasks;
+        self.counters.par_batches += batches;
+        dvs_obs::counter_add("session.par_tasks", tasks);
+        dvs_obs::counter_add("session.par_batches", batches);
     }
 
     /// The Eq. (1) power breakdown of the current network, served

@@ -15,7 +15,7 @@ use crate::{FlowGraph, INF};
 ///
 /// Runs as a minimum flow with node lower bounds (weighted Dilworth): build
 /// the residual of the trivially feasible flow that routes `w(v)` through
-/// every split node, cancel as much as possible with one Edmonds–Karp run
+/// every split node, cancel as much as possible with one max-flow run
 /// from sink to source, then read the antichain off the residual
 /// reachability cut. Returns `(weight, nodes)` with `nodes` sorted.
 ///
@@ -74,7 +74,8 @@ pub fn max_weight_antichain(
 
     // Cancel flow: the max t→s flow in this residual is exactly how much
     // the feasible flow exceeds the minimum flow.
-    let reducible = g.max_flow(t, s);
+    let (reducible, paths) = g.max_flow_counted(t, s);
+    dvs_obs::hist_record("flow.augmenting_paths", paths);
     let min_flow = total - reducible;
 
     // Extraction: B = residual-reachable from t; the antichain is the set

@@ -22,6 +22,40 @@ pub struct SeparatorProblem {
     pub sinks: Vec<usize>,
 }
 
+impl SeparatorProblem {
+    /// Builds the node-split flow network of the standard reduction and
+    /// returns `(graph, super_source, super_sink)`. Exposed so benches
+    /// and differential tests can run alternative max-flow algorithms on
+    /// the exact separator-shaped graphs `Gscale` produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != n` or an edge endpoint is out of range.
+    pub fn flow_graph(&self) -> (FlowGraph, usize, usize) {
+        let n = self.n;
+        assert_eq!(self.weights.len(), n, "one weight per node");
+        let v_in = |v: usize| 2 * v;
+        let v_out = |v: usize| 2 * v + 1;
+        let s = 2 * n;
+        let t = 2 * n + 1;
+        let mut g = FlowGraph::new(2 * n + 2);
+        for v in 0..n {
+            g.add_edge(v_in(v), v_out(v), self.weights[v].min(INF));
+        }
+        for &(u, v) in &self.edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            g.add_edge(v_out(u), v_in(v), INF);
+        }
+        for &src in &self.sources {
+            g.add_edge(s, v_in(src), INF);
+        }
+        for &snk in &self.sinks {
+            g.add_edge(v_out(snk), t, INF);
+        }
+        (g, s, t)
+    }
+}
+
 /// A minimum-weight vertex separator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeparatorResult {
@@ -41,7 +75,7 @@ pub struct SeparatorResult {
 /// Standard reduction: split every node `v` into `v_in → v_out` with arc
 /// capacity `w(v)`; graph edges become `u_out → v_in` with capacity ∞; a
 /// super-source feeds every source's `v_in` and every sink's `v_out` feeds
-/// a super-sink. The Edmonds–Karp min cut then crosses only split arcs,
+/// a super-sink. The max-flow min cut then crosses only split arcs,
 /// which *are* the separator.
 ///
 /// Returns `None` when no finite-weight separator exists (some source→sink
@@ -54,30 +88,15 @@ pub struct SeparatorResult {
 /// if `sources`/`sinks` is empty.
 pub fn min_vertex_separator(problem: &SeparatorProblem) -> Option<SeparatorResult> {
     let n = problem.n;
-    assert_eq!(problem.weights.len(), n, "one weight per node");
     assert!(
         !problem.sources.is_empty() && !problem.sinks.is_empty(),
         "separator needs sources and sinks"
     );
     let v_in = |v: usize| 2 * v;
     let v_out = |v: usize| 2 * v + 1;
-    let s = 2 * n;
-    let t = 2 * n + 1;
-    let mut g = FlowGraph::new(2 * n + 2);
-    for v in 0..n {
-        g.add_edge(v_in(v), v_out(v), problem.weights[v].min(INF));
-    }
-    for &(u, v) in &problem.edges {
-        assert!(u < n && v < n, "edge endpoint out of range");
-        g.add_edge(v_out(u), v_in(v), INF);
-    }
-    for &src in &problem.sources {
-        g.add_edge(s, v_in(src), INF);
-    }
-    for &snk in &problem.sinks {
-        g.add_edge(v_out(snk), t, INF);
-    }
+    let (mut g, s, t) = problem.flow_graph();
     let (value, paths) = g.max_flow_counted(s, t);
+    dvs_obs::hist_record("flow.augmenting_paths", paths);
     if value >= INF {
         return None;
     }

@@ -1,0 +1,98 @@
+//! Differential certification of the Dinic `max_flow_counted` against the
+//! retained Edmonds–Karp oracle (`max_flow_counted_ek`), over random
+//! directed graphs and over the exact separator-shaped graphs Gscale
+//! produces.
+//!
+//! Both algorithms must agree on the max-flow *value* on every graph, and —
+//! because every max flow of a network induces the same source-reachable
+//! residual set — on the `min_cut_side` partition too. That second equality
+//! is what makes swapping the algorithm invisible to `min_vertex_separator`
+//! and hence to every Gscale result.
+
+use dvs_flow::{FlowGraph, SeparatorProblem};
+use proptest::prelude::*;
+
+/// Random directed graph with parallel edges and cycles allowed: exactly
+/// the generality `FlowGraph` accepts.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(
+                (0..n, 0..n, 0u64..50).prop_map(|(u, v, c)| (u, v, c)),
+                0..40,
+            ),
+        )
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, u64)]) -> FlowGraph {
+    let mut g = FlowGraph::new(n);
+    for &(u, v, c) in edges {
+        if u != v {
+            g.add_edge(u, v, c);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dinic_flow_and_cut_match_ek_on_random_graphs(
+        (n, edges) in graph_strategy(12),
+    ) {
+        let s = 0;
+        let t = n - 1;
+        let mut dinic = build(n, &edges);
+        let mut ek = build(n, &edges);
+        let (flow_d, paths_d) = dinic.max_flow_counted(s, t);
+        let (flow_e, _paths_e) = ek.max_flow_counted_ek(s, t);
+        prop_assert_eq!(flow_d, flow_e, "edges={:?}", edges);
+        // Dinic's augmenting paths are counted exactly like EK's; both are
+        // bounded below by the trivial ceil(flow / max_cap) argument.
+        if flow_d > 0 {
+            prop_assert!(paths_d >= 1);
+        }
+        // Saturated max flow ⇒ identical source-reachable residual set.
+        prop_assert_eq!(
+            dinic.min_cut_side(s),
+            ek.min_cut_side(s),
+            "min-cut partition diverged on edges={:?}", edges
+        );
+    }
+
+    #[test]
+    fn dinic_matches_ek_on_separator_shaped_graphs(
+        n in 3usize..10,
+        raw_edges in proptest::collection::vec((0usize..10, 0usize..10), 0..24),
+        seed_weights in proptest::collection::vec(1u64..30, 10),
+    ) {
+        // DAG by construction: keep only low→high index pairs.
+        let edges: Vec<(usize, usize)> = raw_edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        let sources: Vec<usize> =
+            (0..n).filter(|&v| edges.iter().all(|&(_, b)| b != v)).collect();
+        let sinks: Vec<usize> =
+            (0..n).filter(|&v| edges.iter().all(|&(a, _)| a != v)).collect();
+        prop_assume!(!sources.is_empty() && !sinks.is_empty());
+        let problem = SeparatorProblem {
+            n,
+            edges,
+            weights: seed_weights[..n].to_vec(),
+            sources,
+            sinks,
+        };
+        let (mut dinic, s, t) = problem.flow_graph();
+        let (mut ek, s2, t2) = problem.flow_graph();
+        prop_assert_eq!((s, t), (s2, t2));
+        let (flow_d, _) = dinic.max_flow_counted(s, t);
+        let (flow_e, _) = ek.max_flow_counted_ek(s2, t2);
+        prop_assert_eq!(flow_d, flow_e);
+        prop_assert_eq!(dinic.min_cut_side(s), ek.min_cut_side(s2));
+    }
+}

@@ -111,6 +111,13 @@ impl AttrRollup {
 /// from a drained [`Trace`]: one block per domain with totals,
 /// concentration, and the top `k` sites with their share of the domain
 /// total.
+///
+/// Domains are ordered most-concentrated first — by the fraction of sites
+/// needed to cover 90 % of the total (`p90_sites / sites`, ascending), ties
+/// by name — so hotspot domains like `power.cone_nodes` (where a handful of
+/// cones absorb most of the re-simulation) lead the report instead of being
+/// buried by the alphabet. The order is a pure function of the rollups and
+/// therefore as deterministic as the rollups themselves.
 #[must_use]
 pub fn render_summary(trace: &Trace, k: usize) -> String {
     use std::fmt::Write as _;
@@ -120,8 +127,18 @@ pub fn render_summary(trace: &Trace, k: usize) -> String {
         return out;
     }
     let _ = writeln!(out, "attribution ({} domains):", trace.attrs.len());
-    for (domain, table) in &trace.attrs {
-        let roll = AttrRollup::from_table(domain, table);
+    let mut rollups: Vec<AttrRollup> = trace
+        .attrs
+        .iter()
+        .map(|(domain, table)| AttrRollup::from_table(domain, table))
+        .collect();
+    // p90_sites/sites compared as cross-multiplied integers: no float keys.
+    rollups.sort_by(|a, b| {
+        let ka = a.p90_sites.saturating_mul(b.sites.max(1));
+        let kb = b.p90_sites.saturating_mul(a.sites.max(1));
+        ka.cmp(&kb).then_with(|| a.domain.cmp(&b.domain))
+    });
+    for roll in rollups {
         let _ = writeln!(
             out,
             "  {}: total {} over {} sites ({} records); 50% from {} sites, 90% from {} sites",
@@ -184,6 +201,26 @@ mod tests {
         assert_eq!(r.sum, 0);
         assert_eq!((r.p50_sites, r.p90_sites), (0, 0));
         assert_eq!(r.count, 4);
+    }
+
+    #[test]
+    fn summary_orders_domains_by_concentration() {
+        let mut trace = crate::recorder::Trace::default();
+        // "zz.hot": one site owns everything → p90/sites = 1/3.
+        trace.attrs.insert(
+            "zz.hot".into(),
+            table(&[("a", 1, 980), ("b", 1, 10), ("c", 1, 10)]),
+        );
+        // "aa.flat": uniform → p90/sites = 3/3. Alphabetically first, but
+        // concentration must win.
+        trace.attrs.insert(
+            "aa.flat".into(),
+            table(&[("a", 1, 10), ("b", 1, 10), ("c", 1, 10)]),
+        );
+        let s = render_summary(&trace, 4);
+        let hot = s.find("zz.hot:").unwrap();
+        let flat = s.find("aa.flat:").unwrap();
+        assert!(hot < flat, "concentrated domain must lead:\n{s}");
     }
 
     #[test]

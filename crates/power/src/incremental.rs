@@ -26,12 +26,19 @@
 //! | `ConverterRemoved` | seed the orphaned sinks' cones | driver |
 //! | `Rollback` | seed every touched node's cone | touched ∪ their fanins |
 //!
-//! Cone re-simulation walks the dirty region in topological order (a
-//! min-heap over topological positions) and **cuts off early**: a node
+//! Cone re-simulation walks the dirty region as a **level-synchronous
+//! wavefront**: dirty gates are bucketed by logic level, each level's
+//! rows are re-evaluated concurrently on the shared [`dvs_pool`] pool
+//! (a row reads only fanin rows, which live in strictly earlier levels
+//! and are already committed), and commits **cut off early**: a node
 //! whose recomputed waveform is bit-identical to the cached one does not
-//! enqueue its fanouts. Because the flow's only structural edit splices
-//! identity (`BUF`) converters, cones collapse after one level — the
-//! machinery stays correct for arbitrary logic replacements regardless.
+//! enqueue its fanouts. The evaluated set, the statistics and every
+//! cached byte are identical to a sequential topological-order walk for
+//! any thread count — a gate's change decision depends only on committed
+//! fanin rows, never on same-level peers. Because the flow's only
+//! structural edit splices identity (`BUF`) converters, cones collapse
+//! after one level — the machinery stays correct for arbitrary logic
+//! replacements regardless.
 //!
 //! # Exactness guarantee
 //!
@@ -48,11 +55,8 @@
 //! (floating-point addition does not reassociate), which is why totals are
 //! re-summed from cached per-node state instead.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use dvs_celllib::Library;
-use dvs_netlist::{Network, NodeId};
+use dvs_netlist::{Levels, Network, NodeId};
 use dvs_sta::{load_pf, po_sink_counts};
 
 use crate::estimate::estimate_with;
@@ -113,6 +117,11 @@ pub struct RefreshStats {
     pub cone_nodes: usize,
     /// Per-node loads recomputed.
     pub loads: usize,
+    /// Non-empty wavefront levels the cone walk processed — the number of
+    /// parallel batches (`par_batches` in the session counters). A pure
+    /// function of the network and the edit batch, independent of the
+    /// thread count.
+    pub levels: usize,
 }
 
 /// Incrementally maintained power-estimation state for one network under
@@ -134,14 +143,31 @@ pub struct PowerState {
     load: Vec<f64>,
     po_counts: Vec<u32>,
     pending: Vec<PowerDelta>,
+    /// Wavefront thread width for simulation and refresh.
+    jobs: usize,
 }
 
 impl PowerState {
     /// Builds the cache with one full-network simulation (equiprobable
-    /// inputs, as [`crate::simulate`]) plus one full load computation.
+    /// inputs, as [`crate::simulate`]) plus one full load computation,
+    /// using the process-wide [`dvs_pool::circuit_jobs`] wavefront width.
     pub fn new(net: &Network, lib: &Library, vectors: usize, seed: u64, fclk_mhz: f64) -> Self {
+        Self::with_jobs(net, lib, vectors, seed, fclk_mhz, dvs_pool::circuit_jobs())
+    }
+
+    /// [`PowerState::new`] with an explicit wavefront thread width. Every
+    /// cached byte is identical for every `jobs` value; the parameter
+    /// only controls how many threads evaluate each simulation level.
+    pub fn with_jobs(
+        net: &Network,
+        lib: &Library,
+        vectors: usize,
+        seed: u64,
+        fclk_mhz: f64,
+        jobs: usize,
+    ) -> Self {
         let probs = vec![0.5; net.primary_input_count()];
-        let data = simulate_data(net, lib, vectors, seed, &probs);
+        let data = simulate_data(net, lib, vectors, seed, &probs, jobs);
         let po_counts = po_sink_counts(net);
         let load = (0..net.node_count())
             .map(|ix| load_pf(net, lib, NodeId::from_index(ix), &po_counts))
@@ -156,7 +182,14 @@ impl PowerState {
             load,
             po_counts,
             pending: Vec::new(),
+            jobs,
         }
+    }
+
+    /// Sets the wavefront thread width used by later refreshes. Has no
+    /// effect on any value this state computes.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
     }
 
     /// `true` if this state serves the given simulation configuration.
@@ -252,50 +285,71 @@ impl PowerState {
             self.po_counts = po_sink_counts(net);
         }
 
-        // Cone re-simulation in topological order with early cutoff.
+        // Cone re-simulation as a level-synchronous wavefront with early
+        // cutoff. Bucketing by logic level gives the same evaluated set
+        // and the same bytes as a topological-position heap walk: a row's
+        // change decision reads only fanin rows, and every fanin lives in
+        // a strictly earlier level, committed before this batch ran.
         if !seeds.is_empty() {
-            let order = net.topo_order();
-            let mut pos = vec![usize::MAX; n];
-            for (p, &id) in order.iter().enumerate() {
-                pos[id.index()] = p;
-            }
+            let levels = Levels::of(net);
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); levels.depth() as usize + 1];
             let mut queued = vec![false; n];
-            let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
             for &s in &seeds {
                 if alive(s) && net.node(s).is_gate() && !queued[s.index()] {
                     queued[s.index()] = true;
-                    heap.push(Reverse((pos[s.index()], s.index())));
+                    buckets[levels.level(s) as usize].push(s.index());
                 }
             }
-            let mut scratch = vec![0u64; self.words];
-            let mut pin_buf: Vec<u64> = Vec::with_capacity(8);
-            while let Some(Reverse((_, ix))) = heap.pop() {
-                let id = NodeId::from_index(ix);
-                eval_row_into(
-                    net,
-                    lib,
-                    &self.values,
-                    self.words,
-                    id,
-                    &mut scratch,
-                    &mut pin_buf,
-                );
-                stats.cone_nodes += 1;
-                let row = &mut self.values[ix * self.words..][..self.words];
-                if row != &scratch[..] {
-                    row.copy_from_slice(&scratch);
-                    let (p, s) = row_stats(&scratch, self.vectors);
-                    self.acts.p_one[ix] = p;
-                    self.acts.sw01[ix] = s;
-                    for &f in net.fanouts(id) {
-                        if net.node(f).is_gate() && !net.node(f).is_dead() && !queued[f.index()] {
-                            queued[f.index()] = true;
-                            heap.push(Reverse((pos[f.index()], f.index())));
+            let (words, vectors, jobs) = (self.words, self.vectors, self.jobs);
+            for l in 0..buckets.len() {
+                let mut batch = std::mem::take(&mut buckets[l]);
+                if batch.is_empty() {
+                    continue;
+                }
+                batch.sort_unstable();
+                stats.levels += 1;
+                stats.cone_nodes += batch.len();
+                // gather: evaluate the whole level against the committed
+                // cache (read-only), in parallel
+                let values = &self.values;
+                let batch_jobs =
+                    dvs_pool::effective_jobs(jobs, batch.len(), crate::sim::PAR_MIN_ROWS);
+                let rows = dvs_pool::run_indexed(&batch, batch_jobs, |_, &ix| {
+                    let mut out = vec![0u64; words];
+                    let mut pin_buf: Vec<u64> = Vec::with_capacity(8);
+                    eval_row_into(
+                        net,
+                        lib,
+                        values,
+                        words,
+                        NodeId::from_index(ix),
+                        &mut out,
+                        &mut pin_buf,
+                    );
+                    out
+                });
+                // scatter: commit changed rows in index order and enqueue
+                // their fanouts into later buckets
+                for (fresh, &ix) in rows.iter().zip(&batch) {
+                    let row = &mut self.values[ix * words..][..words];
+                    if row != &fresh[..] {
+                        row.copy_from_slice(fresh);
+                        let (p, s) = row_stats(fresh, vectors);
+                        self.acts.p_one[ix] = p;
+                        self.acts.sw01[ix] = s;
+                        let id = NodeId::from_index(ix);
+                        for &f in net.fanouts(id) {
+                            if net.node(f).is_gate() && !net.node(f).is_dead() && !queued[f.index()]
+                            {
+                                queued[f.index()] = true;
+                                buckets[levels.level(f) as usize].push(f.index());
+                            }
                         }
                     }
+                    // bit-identical recomputation: cached stats already
+                    // agree, and no downstream waveform can differ — cut
+                    // the cone off
                 }
-                // bit-identical recomputation: cached stats already agree,
-                // and no downstream waveform can differ — cut the cone off
             }
         }
 

@@ -1,7 +1,17 @@
 //! Bit-parallel random-vector logic simulation.
+//!
+//! The gate evaluation sweep is a **parallel wavefront**: gates are
+//! grouped by logic level ([`dvs_netlist::Levels`]) and each level's
+//! waveform rows are evaluated concurrently on the shared
+//! [`dvs_pool`] worker pool — a row depends only on fanin rows, which a
+//! level boundary guarantees are committed. Results are identical to the
+//! sequential topological sweep for any thread count (exact `f64 ==`,
+//! same bits): per-row evaluation ([`eval_row_into`]) and the statistics
+//! loop ([`row_stats`]) are unchanged, rows are committed in level order,
+//! and rows within a level are independent by construction.
 
 use dvs_celllib::Library;
-use dvs_netlist::{Network, NodeId};
+use dvs_netlist::{Levels, Network, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,8 +66,26 @@ impl Activities {
 /// Panics if `vectors < 2` (transition counting needs at least two) or if
 /// the network contains a combinational cycle.
 pub fn simulate(net: &Network, lib: &Library, vectors: usize, seed: u64) -> Activities {
+    simulate_jobs(net, lib, vectors, seed, dvs_pool::circuit_jobs())
+}
+
+/// [`simulate`] with an explicit wavefront thread count instead of the
+/// process-wide [`dvs_pool::circuit_jobs`] width. The result is
+/// value-identical for every `jobs` (see the module docs); the parameter
+/// only controls how many threads evaluate each level.
+///
+/// # Panics
+///
+/// Panics if `vectors < 2` or the network contains a combinational cycle.
+pub fn simulate_jobs(
+    net: &Network,
+    lib: &Library,
+    vectors: usize,
+    seed: u64,
+    jobs: usize,
+) -> Activities {
     let probs = vec![0.5; net.primary_input_count()];
-    simulate_with_probs(net, lib, vectors, seed, &probs)
+    simulate_data(net, lib, vectors, seed, &probs, jobs).acts
 }
 
 /// Like [`simulate`] but with an explicit probability of logic 1 for each
@@ -75,7 +103,30 @@ pub fn simulate_with_probs(
     seed: u64,
     probs: &[f64],
 ) -> Activities {
-    simulate_data(net, lib, vectors, seed, probs).acts
+    simulate_data(net, lib, vectors, seed, probs, dvs_pool::circuit_jobs()).acts
+}
+
+/// Below this many rows a gather level runs sequentially: the scoped
+/// thread spawn of one [`dvs_pool::run_indexed`] call costs more than
+/// evaluating a narrow level outright. Shared with the incremental
+/// engine's per-level refresh batches so both paths flip at the same
+/// width.
+pub(crate) const PAR_MIN_ROWS: usize = 256;
+
+/// Gates grouped by logic level: every fanin of a gate in wavefront `k`
+/// lives in an earlier wavefront (or is a primary input), so all rows of
+/// one wavefront can be evaluated concurrently. Within a wavefront, gates
+/// appear in topological-order sequence, which keeps the commit order —
+/// and therefore every downstream byte — deterministic.
+pub(crate) fn gate_wavefronts(net: &Network) -> Vec<Vec<NodeId>> {
+    let levels = Levels::of(net);
+    let mut fronts: Vec<Vec<NodeId>> = vec![Vec::new(); levels.depth() as usize];
+    for &id in &net.topo_order() {
+        if net.node(id).is_gate() {
+            fronts[(levels.level(id).max(1) - 1) as usize].push(id);
+        }
+    }
+    fronts
 }
 
 /// Full simulation result including the raw node-major waveform buffer —
@@ -166,6 +217,7 @@ pub(crate) fn simulate_data(
     vectors: usize,
     seed: u64,
     probs: &[f64],
+    jobs: usize,
 ) -> SimData {
     assert!(vectors >= 2, "need at least two vectors, got {vectors}");
     assert_eq!(
@@ -203,15 +255,19 @@ pub(crate) fn simulate_data(
         }
     }
 
-    let order = net.topo_order();
-    let mut pin_buf: Vec<u64> = Vec::with_capacity(8);
-    let mut scratch = vec![0u64; words];
-    for &id in &order {
-        if !net.node(id).is_gate() {
-            continue;
+    // Wavefront sweep: gather each level's rows in parallel (reads only
+    // committed fanin rows), then scatter sequentially in level order.
+    for front in &gate_wavefronts(net) {
+        let level_jobs = dvs_pool::effective_jobs(jobs, front.len(), PAR_MIN_ROWS);
+        let rows = dvs_pool::run_indexed(front, level_jobs, |_, &id| {
+            let mut out = vec![0u64; words];
+            let mut pin_buf: Vec<u64> = Vec::with_capacity(8);
+            eval_row_into(net, lib, &values, words, id, &mut out, &mut pin_buf);
+            out
+        });
+        for (row, &id) in rows.iter().zip(front) {
+            values[id.index() * words..][..words].copy_from_slice(row);
         }
-        eval_row_into(net, lib, &values, words, id, &mut scratch, &mut pin_buf);
-        values[id.index() * words..][..words].copy_from_slice(&scratch);
     }
 
     let mut p_one = vec![0.0; n];

@@ -1,0 +1,145 @@
+//! Value-identity of the parallel wavefront simulator across thread
+//! counts: for every random network, `simulate_jobs` at 1, 2 and 4 threads
+//! must agree under exact `f64 ==` on every per-net statistic, and a
+//! `PowerState` refresh must produce the same breakdown *and the same
+//! deterministic work counters* (`cone_nodes`, `levels`) no matter how wide
+//! its pool is.
+//!
+//! This is the determinism contract the `--circuit-jobs` flag rides on:
+//! parallelism moves wall-clock only, never a bit of the results.
+
+use dvs_celllib::{compass, Library, VoltagePair};
+use dvs_netlist::{Network, NodeId, Rail};
+use dvs_power::{simulate_jobs, PowerDelta, PowerState};
+use proptest::prelude::*;
+
+const FCLK_MHZ: f64 = 20.0;
+
+fn lib() -> Library {
+    compass::compass_library(VoltagePair::default())
+}
+
+/// Same generator shape as the incremental differential suite: random
+/// acyclic INV/NAND2 networks over the real library.
+fn network_strategy() -> impl Strategy<Value = Network> {
+    (
+        2usize..5,
+        proptest::collection::vec((any::<u32>(), 1u8..3), 3..28),
+        1usize..4,
+    )
+        .prop_map(|(inputs, gates, outputs)| {
+            let lib = lib();
+            let inv = lib.find("INV").unwrap();
+            let nand2 = lib.find("NAND2").unwrap();
+            let mut net = Network::new("par");
+            let mut pool: Vec<NodeId> = (0..inputs)
+                .map(|i| net.add_input(format!("pi{i}")))
+                .collect();
+            for (ix, (seed, arity)) in gates.iter().enumerate() {
+                let arity = (*arity as usize).min(pool.len()).min(2);
+                let mut fanins = Vec::with_capacity(arity);
+                for pin in 0..arity {
+                    let pick =
+                        (*seed as usize).wrapping_mul(31).wrapping_add(pin * 17) % pool.len();
+                    fanins.push(pool[pick]);
+                }
+                fanins.dedup();
+                let cell = if fanins.len() == 2 { nand2 } else { inv };
+                let g = net.add_gate(format!("g{ix}"), cell, &fanins);
+                pool.push(g);
+            }
+            for o in 0..outputs {
+                let d = pool[pool.len() - 1 - o % pool.len().min(3)];
+                net.add_output(format!("po{o}"), d);
+            }
+            net
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// From-scratch simulation is bit-identical at every thread count.
+    #[test]
+    fn simulate_is_thread_count_invariant(
+        net in network_strategy(),
+        vectors in 50usize..200,
+        seed in 0u64..1000,
+    ) {
+        let lib = lib();
+        let base = simulate_jobs(&net, &lib, vectors, seed, 1);
+        for jobs in [2usize, 4] {
+            let wide = simulate_jobs(&net, &lib, vectors, seed, jobs);
+            for id in net.node_ids() {
+                prop_assert_eq!(
+                    base.switching(id), wide.switching(id),
+                    "sw01({}) at jobs={}", id, jobs
+                );
+                prop_assert_eq!(
+                    base.one_prob(id), wide.one_prob(id),
+                    "p_one({}) at jobs={}", id, jobs
+                );
+            }
+        }
+    }
+
+    /// Incremental refresh after a batch of rail edits is value-identical
+    /// across thread counts, and its deterministic work counters
+    /// (`cone_nodes`, `levels`) match too — they feed `par_tasks` /
+    /// `par_batches` in the sweep schema, which must be byte-stable.
+    #[test]
+    fn refresh_is_thread_count_invariant(
+        net in network_strategy(),
+        flips in proptest::collection::vec(any::<u32>(), 1..8),
+        vectors in 50usize..150,
+        seed in 0u64..1000,
+    ) {
+        let lib = lib();
+        let mut nets = [net.clone(), net.clone(), net];
+        for n in &mut nets {
+            n.enable_journal();
+        }
+        let mut states: Vec<PowerState> = [1usize, 2, 4]
+            .iter()
+            .map(|&jobs| PowerState::with_jobs(&nets[0], &lib, vectors, seed, FCLK_MHZ, jobs))
+            .collect();
+
+        for (n, ps) in nets.iter_mut().zip(states.iter_mut()) {
+            for &f in &flips {
+                let gates: Vec<NodeId> =
+                    n.gate_ids().filter(|&g| !n.node(g).is_converter()).collect();
+                if gates.is_empty() { break; }
+                let g = gates[f as usize % gates.len()];
+                let rail = if f % 2 == 0 { Rail::Low } else { Rail::High };
+                n.set_rail(g, rail);
+                ps.note(PowerDelta::Rail(g));
+            }
+        }
+
+        let stats: Vec<_> = nets
+            .iter()
+            .zip(states.iter_mut())
+            .map(|(n, ps)| ps.refresh(n, &lib))
+            .collect();
+        prop_assert_eq!(stats[0].cone_nodes, stats[1].cone_nodes);
+        prop_assert_eq!(stats[0].cone_nodes, stats[2].cone_nodes);
+        prop_assert_eq!(stats[0].levels, stats[1].levels);
+        prop_assert_eq!(stats[0].levels, stats[2].levels);
+
+        let want = states[0].breakdown(&nets[0], &lib);
+        for (i, ps) in states.iter().enumerate().skip(1) {
+            let got = ps.breakdown(&nets[i], &lib);
+            prop_assert_eq!(got.total_uw, want.total_uw, "total_uw at lane {}", i);
+            prop_assert_eq!(got.switching_uw, want.switching_uw);
+            prop_assert_eq!(got.converter_uw, want.converter_uw);
+            for id in nets[i].node_ids() {
+                prop_assert_eq!(got.node_uw(id), want.node_uw(id), "node_uw({})", id);
+                prop_assert_eq!(
+                    ps.activities().switching(id),
+                    states[0].activities().switching(id),
+                    "sw01({})", id
+                );
+            }
+        }
+    }
+}

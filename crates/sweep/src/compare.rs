@@ -25,13 +25,16 @@ use crate::json::Json;
 /// per-scenario `obs` rollups (whose absence just yields empty phase
 /// deltas); `v4` adds the `attr` attribution blocks, which the diff
 /// tolerates on either side without consuming; `v5` adds the
-/// incremental-power counters inside `sta`, likewise not consumed.
-pub const READABLE_SCHEMAS: [&str; 5] = [
+/// incremental-power counters inside `sta`, likewise not consumed; `v6`
+/// adds the intra-circuit parallelism counters (`par_tasks`,
+/// `par_batches`, `pool.*`), also not consumed by the diff.
+pub const READABLE_SCHEMAS: [&str; 6] = [
     "dvs-sweep/v1",
     "dvs-sweep/v2",
     "dvs-sweep/v3",
     "dvs-sweep/v4",
     "dvs-sweep/v5",
+    "dvs-sweep/v6",
 ];
 
 /// Per-algorithm deltas of one scenario, new − old.

@@ -23,11 +23,11 @@
 //! fields, making the whole document byte-identical across worker counts
 //! (that is what the CI smoke test asserts).
 //!
-//! ## `BENCH_sweep.json` schema (`dvs-sweep/v5`)
+//! ## `BENCH_sweep.json` schema (`dvs-sweep/v6`)
 //!
 //! ```json
 //! {
-//!   "schema": "dvs-sweep/v5",
+//!   "schema": "dvs-sweep/v6",
 //!   "timing": true,              // false when --deterministic zeroed the clocks
 //!   "scenario_count": 39,
 //!   "summary": {                 // means over all scenarios
@@ -57,7 +57,8 @@
 //!                            "hot_rebuilds": 0, "rebuilds_avoided": …,
 //!                            "full_power": 0, "power_resims": …,
 //!                            "full_power_avoided": …,
-//!                            "checkpoints": …, "rollbacks": … } },
+//!                            "checkpoints": …, "rollbacks": …,
+//!                            "par_tasks": …, "par_batches": … } },
 //!       "dscale": { …, "converters": N, … },   // same shape as "cvs"
 //!       "gscale": { …, "resized": N, … },      // same shape as "cvs"
 //!       "wall_s": 1.03,              // whole-scenario wall clock
@@ -123,6 +124,7 @@
 //! | `sta.events`            | edited gate/driver  | STA worklist events|
 //! | `session.edits`         | edited gate/driver  | 1 per edit         |
 //! | `flow.augmenting_paths` | `{gate}+{n}` cut id | augmenting paths   |
+//! | `power.cone_nodes`      | circuit name        | re-simulated nodes |
 //!
 //! Every attribution value is an **integer** (power pre-scaled to
 //! nanowatts and rounded at the recording site), so unlike the `*_ns`
@@ -135,6 +137,20 @@
 //! against a large `sites` means the cost is concentrated and worth
 //! attacking site by site (the CLI's `--attr-summary` prints exactly
 //! that view).
+//!
+//! `v6` (intra-circuit parallelism) added two fields to each `sta`
+//! object — `par_tasks` / `par_batches`, the deterministic work-shape of
+//! the parallel paths (Dscale candidate-scoring fan-outs and wavefront
+//! power-refresh levels) — plus the `pool.*` counter/histogram families
+//! in the `obs` rollup (`pool.tasks`, `pool.batches`, `pool.batch_items`
+//! — for the wavefront simulator the level-width distribution). All of
+//! them are pure functions of the scenario's network, **not** of the
+//! thread count: the [`dvs_pool`] pool emits them from the calling
+//! thread on every batch, including sequential short-circuits, so a
+//! `--circuit-jobs 4` document is byte-identical to a `--circuit-jobs 1`
+//! document under `--deterministic` (CI asserts exactly that). The
+//! nondeterministic execution split (`pool.tasks_per_worker`) is emitted
+//! from the worker threads and therefore never enters a scenario rollup.
 //!
 //! All `cpu_s` fields are **per-thread** CPU seconds
 //! ([`dvs_core::CpuTimer`]), so a loaded pool reports the same CPU cost as
@@ -188,13 +204,12 @@ pub mod json;
 
 mod compare;
 mod grid;
-mod pool;
 mod progress;
 mod runner;
 
 pub use compare::{compare, AlgoDelta, Comparison, PhaseDelta, ScenarioDelta, READABLE_SCHEMAS};
+pub use dvs_pool::{default_jobs, run_indexed};
 pub use grid::{ConfigVariant, Grid, Scenario};
-pub use pool::{default_jobs, run_indexed};
 pub use progress::Progress;
 pub use runner::{
     mean, run_grid, run_grid_obs, run_scenario, run_scenario_obs, to_json, write_results,

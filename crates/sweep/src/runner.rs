@@ -9,7 +9,7 @@ use dvs_synth::{mcnc, prepare};
 
 use crate::grid::{Grid, Scenario};
 use crate::json::Json;
-use crate::pool;
+use dvs_pool as pool;
 
 /// The schema tag written into (and expected from) sweep JSON documents.
 /// `v2` added the per-algorithm `sta` counter objects; `v3` added the
@@ -18,8 +18,11 @@ use crate::pool;
 /// per-scenario `attr` block (per-domain site attribution: totals, top-K
 /// sites and concentration — see the crate docs for the field table);
 /// `v5` added the incremental-power fields to each `sta` object
-/// (`full_power`, `power_resims`, `full_power_avoided`).
-pub const SCHEMA: &str = "dvs-sweep/v5";
+/// (`full_power`, `power_resims`, `full_power_avoided`); `v6` added the
+/// intra-circuit parallelism fields `par_tasks`/`par_batches` to each
+/// `sta` object and the deterministic `pool.*` families to the `obs`
+/// rollup.
+pub const SCHEMA: &str = "dvs-sweep/v6";
 
 /// Flat per-algorithm numbers of one scenario (one `Table 1` + `Table 2`
 /// cell group).
@@ -200,6 +203,8 @@ fn counters_json(c: &FlowCounters) -> Json {
         ("full_power_avoided", Json::UInt(c.full_power_avoided)),
         ("checkpoints", Json::UInt(c.checkpoints)),
         ("rollbacks", Json::UInt(c.rollbacks)),
+        ("par_tasks", Json::UInt(c.par_tasks)),
+        ("par_batches", Json::UInt(c.par_batches)),
     ])
 }
 
@@ -324,7 +329,7 @@ fn algo_json(a: &AlgoSummary, timing: bool) -> Json {
 }
 
 /// Serializes sweep results as the `BENCH_sweep.json` document (schema
-/// `dvs-sweep/v5`; see the crate docs for the full field reference).
+/// `dvs-sweep/v6`; see the crate docs for the full field reference).
 ///
 /// With `timing == false` every wall/CPU field renders as `0`, making the
 /// document a pure function of the grid — byte-identical across runs and
@@ -495,7 +500,7 @@ mod tests {
             doc, again,
             "timing-stripped document must not depend on jobs"
         );
-        assert!(doc.contains("\"schema\": \"dvs-sweep/v5\""));
+        assert!(doc.contains("\"schema\": \"dvs-sweep/v6\""));
         assert!(doc.contains("\"id\": \"x2.x1/paper/s0\""));
         assert!(doc.contains("\"hot_rebuilds\": 0"));
         assert!(doc.contains("\"full_power\": 0"));
